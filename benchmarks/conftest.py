@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints the paper-style table it regenerates; the
+``report`` fixture writes through pytest's capture so the tables appear
+in ``bench_output.txt`` alongside pytest-benchmark's timing table.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _report

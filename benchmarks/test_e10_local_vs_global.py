@@ -1,0 +1,76 @@
+"""Experiment E10 — why *local* mutual exclusion (Chapter 1's pitch).
+
+The introduction argues global mutual exclusion "appears to have fewer
+potential applications": it serializes the whole network even when
+conflicts are purely local.  We quantify the gap with the two oracle
+modes (identical scheduling, identical workload; the only difference is
+whether exclusion is per-neighborhood or network-wide) and with
+Algorithm 2 as the distributed realization: as the network grows,
+local-mutex throughput scales with area while global-mutex throughput
+stays flat — and even the *message-paying distributed* local algorithm
+overtakes the *free omniscient* global oracle.
+"""
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.tables import render_table
+from repro.harness.experiments import run_static
+from repro.net.geometry import line_positions
+
+NS = (8, 16, 32, 64)
+UNTIL = 300.0
+
+
+def throughput(algorithm, n):
+    result = run_static(
+        algorithm,
+        line_positions(n, spacing=1.0),
+        until=UNTIL,
+        think_range=(0.2, 1.0),
+    )
+    return result.cs_entries / UNTIL
+
+
+def test_e10_local_vs_global(benchmark, report):
+    def run():
+        return {
+            algorithm: [(n, throughput(algorithm, n)) for n in NS]
+            for algorithm in (
+                "oracle", "global-oracle", "token-mutex", "alg2",
+            )
+        }
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for algorithm, series in data.items():
+        for n, tput in series:
+            rows.append([algorithm, n, f"{tput:.2f}"])
+    fits = {
+        algorithm: fit_power_law(
+            [n for n, _ in series], [t for _, t in series]
+        )
+        for algorithm, series in data.items()
+    }
+    fit_text = ", ".join(
+        f"{name} x^{fit.exponent:.2f}" for name, fit in fits.items()
+    )
+    report(render_table(
+        ["exclusion", "n", "CS entries / tu"],
+        rows,
+        title="E10: local vs global mutual exclusion throughput "
+              f"(growing lines; growth fits: {fit_text})",
+    ))
+
+    # Local throughput scales ~linearly with n; global saturates flat.
+    assert fits["oracle"].exponent > 0.8
+    assert fits["global-oracle"].exponent < 0.3
+    assert fits["alg2"].exponent > 0.8
+    # The *distributed* global mutex (Raymond token) is flat too, and
+    # pays token-routing latency on top — it cannot beat its oracle.
+    assert fits["token-mutex"].exponent < 0.3
+    token = dict(data["token-mutex"])
+    global_oracle = dict(data["global-oracle"])
+    assert token[NS[-1]] <= global_oracle[NS[-1]] * 1.1
+    # By the largest size, even the message-paying distributed local
+    # algorithm beats the omniscient global scheduler outright.
+    local_alg2 = dict(data["alg2"])
+    assert local_alg2[NS[-1]] > 2 * global_oracle[NS[-1]]

@@ -1,0 +1,40 @@
+"""Experiment E1 — Theorems 25/26: Algorithm 2 response-time scaling.
+
+Claims: response time O(n^2) in the mobile setting, O(n) static — and
+the static bound beats the prior best (O(n^2), Tsay-Bagrodia/
+Sivilotti) thanks to the notification mechanism.  We grow line networks
+and check the static worst-case response grows roughly linearly,
+definitely sub-quadratically.
+"""
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.tables import render_table
+from repro.harness.experiments import response_vs_n
+
+NS = (6, 12, 24, 48)
+UNTIL = 500.0
+
+
+def test_e1_alg2_static_scaling(benchmark, report):
+    data = benchmark.pedantic(
+        lambda: response_vs_n("alg2", NS, until=UNTIL),
+        rounds=1,
+        iterations=1,
+    )
+    fit = fit_power_law([n for n, _ in data], [s.maximum for _, s in data])
+    report(render_table(
+        ["n", "mean rt", "p95 rt", "max rt"],
+        [[n, f"{s.mean:.2f}", f"{s.p95:.2f}", f"{s.maximum:.2f}"]
+         for n, s in data],
+        title="E1 / Theorem 26: Algorithm 2 static response time vs n "
+              f"(line networks) — max-rt growth fit: {fit}",
+    ))
+    maxima = {n: s.maximum for n, s in data}
+    means = {n: s.mean for n, s in data}
+    # 8x the nodes: worst response grows clearly sub-quadratically
+    # (quadratic would be 64x).
+    assert maxima[NS[-1]] <= maxima[NS[0]] * (NS[-1] / NS[0]) * 2.5
+    # Mean response is essentially locality-bound: near-flat.
+    assert means[NS[-1]] <= means[NS[0]] * 4
+    # The fitted growth exponent is decisively below quadratic.
+    assert fit.exponent < 1.3, f"measured exponent {fit.exponent:.2f}"

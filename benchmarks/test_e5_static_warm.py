@@ -1,0 +1,65 @@
+"""Experiment E5 — the static warm-system observation (end of §5.3).
+
+"After all nodes in the static system set a color upon the exit from
+the critical section in the range [0..delta], the recoloring module is
+never run again.  Thus, the response time in this special case becomes
+O(delta^2), as in the algorithm of Choy and Singh."
+
+We run Algorithm 1 on growing static lines, discard the warm-up phase,
+and check (a) colors have collapsed into [0, delta], (b) warm response
+time does not grow with n.
+"""
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.net.geometry import line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+NS = (8, 16, 32)
+UNTIL = 500.0
+WARMUP = 100.0
+
+
+def warm_run(n: int):
+    config = ScenarioConfig(
+        positions=line_positions(n, spacing=1.0),
+        algorithm="alg1-greedy",
+        seed=11,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=UNTIL)
+    warm = [
+        s.response_time for s in result.metrics.samples if s.hungry_at > WARMUP
+    ]
+    colors = [sim.algorithm_of(i).my_color for i in range(n)]
+    delta = sim.topology.max_degree()
+    return summarize(warm), colors, delta
+
+
+def test_e5_static_warm_response(benchmark, report):
+    data = benchmark.pedantic(
+        lambda: {n: warm_run(n) for n in NS}, rounds=1, iterations=1
+    )
+    rows = []
+    for n, (summary, colors, delta) in data.items():
+        rows.append([
+            n,
+            f"{summary.mean:.2f}",
+            f"{summary.maximum:.2f}",
+            f"[{min(colors)}, {max(colors)}]",
+        ])
+    report(render_table(
+        ["n", "warm mean rt", "warm max rt", "color range"],
+        rows,
+        title="E5: Algorithm 1 on static lines after warm-up — response "
+              "independent of n, colors in [0, delta]",
+    ))
+    for n, (summary, colors, delta) in data.items():
+        # Warm colors have collapsed into [0, delta] (Line 6 recoloring).
+        assert all(c is not None and 0 <= c <= delta for c in colors), (
+            f"n={n}: colors {colors} outside [0, {delta}]"
+        )
+    means = [data[n][0].mean for n in NS]
+    # 4x nodes, ~same response: the O(delta^2) regime, not O(n).
+    assert means[-1] <= means[0] * 2.0

@@ -1,0 +1,58 @@
+"""Experiment F2 — Figure 2: basic synchronous / asynchronous doorways.
+
+Figure 2 gives the two doorway implementations.  Their behavioral
+difference: the synchronous doorway's conjunctive wait can starve a
+node indefinitely under contention (unbounded tail), while the
+asynchronous doorway's seen-once rule bounds the wait by one traversal
+per neighbor.  We measure hub traversal latency on increasingly
+contended stars and compare the tails.
+"""
+
+from repro.analysis.tables import render_table
+from repro.harness.experiments import doorway_latency
+
+DELTAS = (2, 4, 8, 12)
+UNTIL = 400.0
+
+
+def test_fig2_basic_doorways(benchmark, report):
+    def run():
+        data = {}
+        for kind in ("sync", "async"):
+            data[kind] = [
+                (d, doorway_latency(kind, d, until=UNTIL)) for d in DELTAS
+            ]
+        return data
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for kind, series in data.items():
+        for delta, s in series:
+            if s is None:
+                rows.append([kind, delta, "STARVED", "STARVED", "inf"])
+            else:
+                rows.append([kind, delta, f"{s.mean:.2f}", f"{s.p95:.2f}",
+                             f"{s.maximum:.2f}"])
+    report(render_table(
+        ["doorway", "delta", "mean", "p95", "max"],
+        rows,
+        title="Figure 2: hub traversal latency, saturated star of degree delta "
+              "(module time T=1, nu=tau=0.1); STARVED = hub never got through",
+    ))
+
+    def tail(entry):
+        return float("inf") if entry is None else entry.maximum
+
+    sync_tail = {d: tail(s) for d, s in data["sync"]}
+    async_tail = {d: tail(s) for d, s in data["async"]}
+    # The async doorway never starves the hub...
+    for d, s in data["async"]:
+        assert s is not None, f"async doorway starved the hub at delta={d}"
+    # ...while the sync doorway's tail blows up (to outright starvation
+    # at high contention) — the reason the double doorway exists.
+    for d in DELTAS[2:]:
+        assert sync_tail[d] > async_tail[d], (
+            f"sync tail should exceed async tail at delta={d}"
+        )
+    async_means = {d: s.mean for d, s in data["async"]}
+    assert async_tail[DELTAS[-1]] <= 6 * async_means[DELTAS[-1]]

@@ -1,0 +1,51 @@
+"""Experiment F3 — Figure 3 / Lemma 1: the double doorway.
+
+Lemma 1: a node entering the double doorway exits within O(delta * T)
+when the enclosed module takes T.  We sweep both delta (at fixed T) and
+T (at fixed delta) and check the worst-case traversal grows at most
+linearly in each, with no super-linear blowup.
+"""
+
+from repro.analysis.tables import render_table
+from repro.harness.experiments import doorway_latency
+
+DELTAS = (2, 4, 8, 12)
+MODULE_TIMES = (0.5, 1.0, 2.0, 4.0)
+UNTIL = 400.0
+
+
+def test_fig3_double_doorway_delta_scaling(benchmark, report):
+    def run():
+        by_delta = [
+            (d, doorway_latency("double", d, module_time=1.0, until=UNTIL))
+            for d in DELTAS
+        ]
+        by_T = [
+            (t, doorway_latency("double", 6, module_time=t, until=UNTIL))
+            for t in MODULE_TIMES
+        ]
+        return by_delta, by_T
+
+    by_delta, by_T = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [["delta", d, f"{s.mean:.2f}", f"{s.maximum:.2f}"]
+            for d, s in by_delta]
+    rows += [["T", t, f"{s.mean:.2f}", f"{s.maximum:.2f}"] for t, s in by_T]
+    report(render_table(
+        ["swept", "value", "mean traversal", "max traversal"],
+        rows,
+        title="Figure 3 / Lemma 1: double doorway exit latency = O(delta * T)",
+    ))
+
+    # Linear-ish in delta: 6x delta must not exceed ~linear headroom.
+    d_lo, d_hi = by_delta[0][1].maximum, by_delta[-1][1].maximum
+    delta_growth = DELTAS[-1] / DELTAS[0]
+    assert d_hi <= d_lo * delta_growth * 2.0, (
+        f"super-linear delta scaling: {d_lo:.2f} -> {d_hi:.2f}"
+    )
+    # Linear-ish in T: max traversal grows no faster than ~T itself.
+    t_lo, t_hi = by_T[0][1].maximum, by_T[-1][1].maximum
+    t_growth = MODULE_TIMES[-1] / MODULE_TIMES[0]
+    assert t_hi <= t_lo * t_growth * 2.0
+    # And T strictly matters (the module really runs behind the doorway).
+    assert by_T[-1][1].mean > by_T[0][1].mean

@@ -1,0 +1,39 @@
+"""Experiment F4 — Figure 4 / Lemma 2: double doorway with a return path.
+
+Lemma 2: with up to R executions of the inner synchronous doorway's
+entry code per traversal, the exit latency is O(delta * T * R).  We
+sweep R at fixed delta and T; mean traversal should scale ~linearly
+with R (each return re-runs the module).
+"""
+
+from repro.analysis.tables import render_table
+from repro.harness.experiments import doorway_latency
+
+RETURNS = (1, 2, 4, 8)
+UNTIL = 400.0
+
+
+def test_fig4_return_path_scaling(benchmark, report):
+    def run():
+        return [
+            (r, doorway_latency("double-return", 6, module_time=1.0,
+                                returns=r, until=UNTIL))
+            for r in RETURNS
+        ]
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(render_table(
+        ["R (module runs)", "mean traversal", "max traversal"],
+        [[r, f"{s.mean:.2f}", f"{s.maximum:.2f}"] for r, s in data],
+        title="Figure 4 / Lemma 2: return-path doorway latency = "
+              "O(delta * T * R)",
+    ))
+
+    means = {r: s.mean for r, s in data}
+    # Each extra module run adds ~T: mean grows monotonically and
+    # roughly linearly in R.
+    assert means[2] > means[1]
+    assert means[4] > means[2]
+    assert means[8] > means[4]
+    ratio = means[8] / means[1]
+    assert 4.0 <= ratio <= 16.0, f"R-scaling off: x{ratio:.1f} for 8x R"

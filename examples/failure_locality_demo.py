@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Failure locality, visualized: why Algorithm 2 is worth its messages.
+
+A column of 13 relay nodes; the middle one dies silently at t=20 while
+everyone keeps requesting the critical section.  With the classic
+Chandy-Misra algorithm, the waiting chain radiating from the crash can
+starve the entire column; with the paper's Algorithm 2 the damage stops
+two hops away (Theorem 25: failure locality 2).
+
+Run:
+    python examples/failure_locality_demo.py
+"""
+
+from repro import ScenarioConfig, Simulation
+from repro.net.geometry import line_positions
+
+N = 13
+CRASH_NODE = N // 2
+CRASH_TIME = 20.0
+DURATION = 600.0
+
+
+def probe(algorithm: str):
+    config = ScenarioConfig(
+        positions=line_positions(N, spacing=1.0),
+        algorithm=algorithm,
+        seed=5,
+        think_range=(0.5, 2.0),
+        crashes=[(CRASH_TIME, CRASH_NODE)],
+    )
+    sim = Simulation(config)
+    sim.run(until=DURATION)
+    return sim.locality_report()
+
+
+def render(algorithm: str, report) -> None:
+    cells = []
+    for node in range(N):
+        if node == CRASH_NODE:
+            cells.append("X")  # crashed
+        elif node in report.starved:
+            cells.append("#")  # starved
+        else:
+            cells.append(".")  # progressing
+    radius = report.starvation_radius
+    print(f"  {algorithm:>13s}  [{''.join(cells)}]  starvation radius = "
+          f"{radius if radius is not None else 0}")
+
+
+def main() -> None:
+    print(f"{N}-node line, node {CRASH_NODE} crashes at t={CRASH_TIME} "
+          f"(X = crashed, # = starved, . = progressing)\n")
+    for algorithm in ("alg2", "alg1-linial", "alg1-greedy", "chandy-misra",
+                      "ordered-ids"):
+        render(algorithm, probe(algorithm))
+    print(
+        "\nAlgorithm 2 contains the damage to its 2-neighborhood "
+        "(Theorem 25);\nChandy-Misra's waiting chains can starve nodes "
+        "arbitrarily far away."
+    )
+
+
+if __name__ == "__main__":
+    main()

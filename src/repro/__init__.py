@@ -1,0 +1,73 @@
+"""repro — reproduction of "Efficient and Robust Local Mutual Exclusion
+in Mobile Ad Hoc Networks" (Alex Kogan, ICDCS 2008 / Technion MSc thesis).
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_simulation
+    from repro.net.geometry import line_positions
+
+    config = ScenarioConfig(
+        positions=line_positions(8, spacing=1.0),
+        algorithm="alg2",
+        seed=7,
+    )
+    result = run_simulation(config, until=200.0)
+    print(result.cs_entries, max(result.response_times))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.algorithm1 import Algorithm1
+from repro.core.algorithm2 import Algorithm2
+from repro.core.coloring.greedy import GreedyColoring
+from repro.core.coloring.linial import LinialColoring
+from repro.core.states import NodeState
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SafetyViolation,
+    SimulationError,
+    TopologyError,
+)
+from repro.net.geometry import (
+    Point,
+    grid_positions,
+    line_positions,
+    random_positions,
+    ring_positions,
+)
+from repro.runtime.simulation import (
+    ScenarioConfig,
+    Simulation,
+    SimulationResult,
+    run_simulation,
+)
+from repro.sim.clock import TimeBounds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm1",
+    "Algorithm2",
+    "ConfigurationError",
+    "GreedyColoring",
+    "LinialColoring",
+    "NodeState",
+    "Point",
+    "ProtocolError",
+    "ReproError",
+    "SafetyViolation",
+    "ScenarioConfig",
+    "Simulation",
+    "SimulationError",
+    "SimulationResult",
+    "TimeBounds",
+    "TopologyError",
+    "grid_positions",
+    "line_positions",
+    "random_positions",
+    "ring_positions",
+    "run_simulation",
+]

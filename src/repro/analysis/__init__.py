@@ -1,0 +1,6 @@
+"""Post-run analysis helpers: summary statistics and ASCII tables."""
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import render_table
+
+__all__ = ["Summary", "render_table", "summarize"]

@@ -1,0 +1,65 @@
+"""Summary statistics without external dependencies.
+
+The benchmarks report distributions of response times; a tiny local
+implementation keeps the core library dependency-free (numpy is only an
+optional extra).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one sample set."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    minimum: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} median={self.median:.3f} "
+            f"p95={self.p95:.3f} max={self.maximum:.3f}"
+        )
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sample")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return sorted_values[low]
+    weight = rank - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+def summarize(values: Iterable[float]) -> Optional[Summary]:
+    """Summary of a sample, or None if it is empty."""
+    data = sorted(values)
+    if not data:
+        return None
+    count = len(data)
+    mean = sum(data) / count
+    variance = sum((v - mean) ** 2 for v in data) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        median=percentile(data, 0.5),
+        p95=percentile(data, 0.95),
+        maximum=data[-1],
+        minimum=data[0],
+        stdev=math.sqrt(variance),
+    )

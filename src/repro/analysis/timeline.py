@@ -1,0 +1,121 @@
+"""ASCII critical-section timelines and trace export.
+
+Rendering who eats when makes protocol behavior reviewable at a glance
+(the meeting-room example and several regression tests use it), and the
+JSON-lines export lets external tooling consume traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.sim.trace import TraceLog
+
+
+def eating_intervals(trace: TraceLog) -> Dict[int, List[Tuple[float, float]]]:
+    """Per-node [start, end) eating intervals reconstructed from a trace.
+
+    An interval still open at the end of the trace is closed at the last
+    record's time; demotions close intervals like exits do.
+    """
+    intervals: Dict[int, List[Tuple[float, float]]] = {}
+    open_since: Dict[int, float] = {}
+    last_time = 0.0
+    for rec in trace:
+        last_time = max(last_time, rec.time)
+        if rec.node is None:
+            continue
+        if rec.category == "cs.enter":
+            open_since[rec.node] = rec.time
+        elif rec.category in ("cs.exit", "cs.demoted"):
+            start = open_since.pop(rec.node, None)
+            if start is not None:
+                intervals.setdefault(rec.node, []).append((start, rec.time))
+    for node, start in open_since.items():
+        intervals.setdefault(node, []).append((start, last_time))
+    return {node: sorted(iv) for node, iv in sorted(intervals.items())}
+
+
+def render_timeline(
+    trace: TraceLog,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    width: int = 80,
+    nodes: Optional[List[int]] = None,
+) -> str:
+    """Render per-node eating activity as fixed-width ASCII bars.
+
+    Each column is a time bucket; ``#`` marks buckets during which the
+    node ate at any point.  Example::
+
+        p0 |##....##....##..|
+        p1 |..##....##....##|
+    """
+    intervals = eating_intervals(trace)
+    if end is None:
+        end = max(
+            (iv[-1][1] for iv in intervals.values() if iv), default=start
+        )
+    if end <= start:
+        end = start + 1.0
+    if nodes is None:
+        nodes = sorted(intervals)
+    bucket = (end - start) / width
+    lines = []
+    for node in nodes:
+        cells = []
+        for i in range(width):
+            lo = start + i * bucket
+            hi = lo + bucket
+            ate = any(
+                s < hi and e > lo for s, e in intervals.get(node, ())
+            )
+            cells.append("#" if ate else ".")
+        lines.append(f"p{node:<3d}|{''.join(cells)}|")
+    header = f"t = [{start:.1f}, {end:.1f}], {bucket:.2f} per column"
+    return "\n".join([header] + lines)
+
+
+def concurrency_profile(trace: TraceLog, step: float = 1.0) -> List[int]:
+    """Number of simultaneous eaters sampled every ``step`` time units.
+
+    Useful for asserting that *local* mutual exclusion still allows
+    genuine parallelism across the network (unlike global mutex).
+    """
+    intervals = eating_intervals(trace)
+    end = max((iv[-1][1] for iv in intervals.values() if iv), default=0.0)
+    samples = []
+    t = 0.0
+    while t <= end:
+        count = sum(
+            1
+            for node_intervals in intervals.values()
+            for s, e in node_intervals
+            if s <= t < e
+        )
+        samples.append(count)
+        t += step
+    return samples
+
+
+def export_jsonl(trace: TraceLog, stream: TextIO) -> int:
+    """Write the trace as JSON lines; returns the record count."""
+    count = 0
+    for rec in trace:
+        stream.write(json.dumps({
+            "time": rec.time,
+            "category": rec.category,
+            "node": rec.node,
+            "detail": {k: _jsonable(v) for k, v in rec.detail.items()},
+        }) + "\n")
+        count += 1
+    return count
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    return repr(value)

@@ -1,0 +1,28 @@
+"""Baseline protocols the paper compares against (Table 1 context).
+
+* :class:`~repro.baselines.chandy_misra.ChandyMisra` — the hygienic
+  dining philosophers algorithm [6]: dynamic priorities via clean/dirty
+  forks; failure locality Theta(n) (waiting chains).
+* :class:`~repro.baselines.choy_singh.ChoySingh` — the static
+  double-doorway algorithm [9]: Algorithm 1's fork-collection stage
+  with a fixed legal coloring and no recoloring; failure locality 4.
+* :class:`~repro.baselines.ordered_ids.OrderedIds` — classic resource
+  ordering: acquire forks in a global order; deadlock-free, unbounded
+  waiting chains.
+* :class:`~repro.baselines.centralized.CentralizedOracle` — an
+  omniscient zero-message scheduler; the response-time floor.
+"""
+
+from repro.baselines.centralized import CentralizedOracle, OracleScheduler
+from repro.baselines.chandy_misra import ChandyMisra
+from repro.baselines.choy_singh import ChoySingh, legal_coloring
+from repro.baselines.ordered_ids import OrderedIds
+
+__all__ = [
+    "CentralizedOracle",
+    "ChandyMisra",
+    "ChoySingh",
+    "OrderedIds",
+    "OracleScheduler",
+    "legal_coloring",
+]

@@ -1,0 +1,145 @@
+"""The Chandy–Misra hygienic dining philosophers algorithm [6].
+
+The classic dynamic-priority solution the paper's Algorithm 2 descends
+from: forks are *clean* or *dirty*; a hungry node requests missing
+forks with request tokens; a holder yields a *dirty* fork (cleaning it
+in transit) unless it is eating, and keeps a *clean* one.  Eating
+dirties all forks, reversing the holder's priority below its neighbors.
+
+Initial placement (all forks dirty, held by the smaller ID) makes the
+precedence graph acyclic, which Chandy-Misra's proof needs.  Failure
+locality is Theta(n): a crashed node holding a clean fork stalls its
+neighbor, whose held forks stall *their* neighbors, and so on down a
+waiting chain — the behavior experiment E3 exhibits.
+
+Mobility support (not in the original) follows the paper's per-link
+rules so the baseline can run in the same mobile scenarios: forks are
+created at link-up owned by the static endpoint, destroyed at
+link-down, and an eating mover demotes itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.states import NodeState
+from repro.net.messages import Message
+
+
+@dataclass(frozen=True)
+class CMRequest(Message):
+    """The request token."""
+
+
+@dataclass(frozen=True)
+class CMFork(Message):
+    """The fork (always sent clean)."""
+
+
+class ChandyMisra(LocalMutexAlgorithm):
+    """Hygienic dining philosophers, adapted to dynamic links."""
+
+    name = "chandy-misra"
+
+    def __init__(self, node: NodeServices) -> None:
+        super().__init__(node)
+        self.holds_fork: Dict[int, bool] = {}
+        self.dirty: Dict[int, bool] = {}
+        self.holds_token: Dict[int, bool] = {}
+        self.deferred: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    def bootstrap_peer(self, peer: int) -> None:
+        """Acyclic start: smaller ID holds the (dirty) fork."""
+        holds = self.node_id < peer
+        self.holds_fork[peer] = holds
+        self.dirty[peer] = True
+        self.holds_token[peer] = not holds
+        self.deferred[peer] = False
+
+    # ------------------------------------------------------------------
+    def _all_forks(self) -> bool:
+        return all(
+            self.holds_fork.get(j, False) for j in self.node.neighbors()
+        )
+
+    def _maybe_eat(self) -> None:
+        if self.node.state is NodeState.HUNGRY and self._all_forks():
+            self.node.start_eating()
+
+    def _request_missing(self) -> None:
+        for peer in sorted(self.node.neighbors()):
+            if not self.holds_fork.get(peer, False) and self.holds_token.get(
+                peer, False
+            ):
+                self.holds_token[peer] = False
+                self.node.send(peer, CMRequest())
+
+    def _grant(self, peer: int) -> None:
+        """Yield the fork (cleaned); re-request it if we are hungry."""
+        self.holds_fork[peer] = False
+        self.deferred[peer] = False
+        self.holds_token[peer] = True
+        self.node.send(peer, CMFork())
+        if self.node.state is NodeState.HUNGRY:
+            self.holds_token[peer] = False
+            self.node.send(peer, CMRequest())
+
+    # ------------------------------------------------------------------
+    def on_hungry(self) -> None:
+        self._request_missing()
+        self._maybe_eat()
+
+    def on_exit_cs(self) -> None:
+        for peer in sorted(self.node.neighbors()):
+            self.dirty[peer] = True
+            if self.deferred.get(peer, False) and self.holds_fork.get(peer, False):
+                self._grant(peer)
+
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, CMRequest):
+            if not self.holds_fork.get(src, False):
+                # The request crossed our grant in flight: the fork is
+                # already on its way to src.  Keep the token for our own
+                # future request; nothing is owed.
+                self.holds_token[src] = True
+                return
+            if self.node.state is not NodeState.EATING and self.dirty.get(
+                src, False
+            ):
+                self._grant(src)
+            else:
+                # Clean fork while hungry, or eating: defer.
+                self.holds_token[src] = True
+                self.deferred[src] = True
+        elif isinstance(message, CMFork):
+            self.holds_fork[src] = True
+            self.dirty[src] = False
+            self.deferred[src] = False
+            self._maybe_eat()
+
+    # ------------------------------------------------------------------
+    def on_link_up(self, peer: int, moving: bool) -> None:
+        if not moving:
+            self.holds_fork[peer] = True
+            self.dirty[peer] = True
+            self.holds_token[peer] = False
+            self.deferred[peer] = False
+            return
+        self.holds_fork[peer] = False
+        self.dirty[peer] = True
+        self.holds_token[peer] = True
+        self.deferred[peer] = False
+        if self.node.state is NodeState.EATING:
+            self.node.demote_to_hungry()
+        if self.node.state is NodeState.HUNGRY:
+            self._request_missing()
+
+    def on_link_down(self, peer: int) -> None:
+        self.holds_fork.pop(peer, None)
+        self.dirty.pop(peer, None)
+        self.holds_token.pop(peer, None)
+        self.deferred.pop(peer, None)
+        self._maybe_eat()

@@ -1,0 +1,139 @@
+"""Resource-ordering baseline: acquire forks in a global link order.
+
+The folklore deadlock-free solution (Dijkstra's resource hierarchy):
+order all forks globally (here by their canonical link key) and have
+each hungry node acquire its forks strictly in ascending order, holding
+everything acquired until it finishes eating.  A holder grants a
+request only for forks *above* its own current acquisition point (it
+has not locked those yet) or while it is not competing; everything else
+is deferred until it exits the critical section.
+
+No doorways, no priority rotation: simple, deadlock-free, but waiting
+chains are unbounded, so both response time and failure locality
+degrade linearly with the chain length — the contrast Table 1's
+comparison needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.states import NodeState
+from repro.net.messages import Message
+from repro.net.topology import link_key
+
+
+@dataclass(frozen=True)
+class OIRequest(Message):
+    """Ask the holder for the shared fork."""
+
+
+@dataclass(frozen=True)
+class OIFork(Message):
+    """Hand the shared fork over."""
+
+
+class OrderedIds(LocalMutexAlgorithm):
+    """Global-order fork acquisition."""
+
+    name = "ordered-ids"
+
+    def __init__(self, node: NodeServices) -> None:
+        super().__init__(node)
+        self.holds_fork: Dict[int, bool] = {}
+        self.deferred: Set[int] = set()
+        #: The link currently being acquired (None while not collecting).
+        self._target: Optional[Tuple[int, int]] = None
+
+    def bootstrap_peer(self, peer: int) -> None:
+        self.holds_fork[peer] = self.node_id < peer
+
+    # ------------------------------------------------------------------
+    def _order(self, peer: int) -> Tuple[int, int]:
+        return link_key(self.node_id, peer)
+
+    def _missing_in_order(self):
+        return sorted(
+            (
+                peer
+                for peer in self.node.neighbors()
+                if not self.holds_fork.get(peer, False)
+            ),
+            key=self._order,
+        )
+
+    def _advance(self) -> None:
+        """Request the smallest missing fork, or eat if none is missing."""
+        if self.node.state is not NodeState.HUNGRY:
+            return
+        missing = self._missing_in_order()
+        if not missing:
+            self._target = None
+            self.node.start_eating()
+            return
+        target_peer = missing[0]
+        target = self._order(target_peer)
+        if self._target != target:
+            self._target = target
+            self.node.send(target_peer, OIRequest())
+
+    def _locked(self, peer: int) -> bool:
+        """Is the fork shared with ``peer`` locked by our acquisition?"""
+        if self.node.state is NodeState.EATING:
+            return True
+        if self.node.state is not NodeState.HUNGRY:
+            return False
+        if self._target is None:
+            return True  # hungry with no pending target: all held forks locked
+        return self._order(peer) <= self._target
+
+    # ------------------------------------------------------------------
+    def on_hungry(self) -> None:
+        self._target = None
+        self._advance()
+
+    def on_exit_cs(self) -> None:
+        self._target = None
+        for peer in sorted(self.deferred):
+            if self.holds_fork.get(peer, False) and peer in self.node.neighbors():
+                self._grant(peer)
+        self.deferred.clear()
+
+    def _grant(self, peer: int) -> None:
+        self.holds_fork[peer] = False
+        self.deferred.discard(peer)
+        self.node.send(peer, OIFork())
+
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, OIRequest):
+            if not self.holds_fork.get(src, False):
+                return  # fork already in flight to src
+            if self._locked(src):
+                self.deferred.add(src)
+            else:
+                self._grant(src)
+                # If the granted fork was our own next target, re-request.
+                self._target = None
+                self._advance()
+        elif isinstance(message, OIFork):
+            self.holds_fork[src] = True
+            if self._target == self._order(src):
+                self._target = None
+            self._advance()
+
+    # ------------------------------------------------------------------
+    def on_link_up(self, peer: int, moving: bool) -> None:
+        self.holds_fork[peer] = not moving
+        if moving and self.node.state is NodeState.EATING:
+            self.node.demote_to_hungry()
+        self._target = None
+        self._advance()
+
+    def on_link_down(self, peer: int) -> None:
+        self.holds_fork.pop(peer, None)
+        self.deferred.discard(peer)
+        if self._target == self._order(peer):
+            self._target = None
+        self._advance()

@@ -1,0 +1,148 @@
+"""A distributed token-based GLOBAL mutual exclusion baseline.
+
+The paper's related work discusses token-based mutual exclusion in
+MANETs (Walter et al. [39] route a single token over link-reversal
+heights).  Global mutex solves a *stronger* (and, the introduction
+argues, less useful) problem than local mutex: the token serializes the
+entire network.  To quantify that cost with a real message-passing
+protocol — not just the omniscient ``global-oracle`` — we implement
+Raymond's classic spanning-tree token algorithm:
+
+* one token exists per connected component; its holder may eat;
+* every node keeps a ``parent`` pointer along a spanning tree, always
+  oriented toward the current holder, a FIFO queue of pending
+  requesters (children or itself), and an ``asked`` flag so each node
+  has at most one outstanding request;
+* a request travels up parent pointers to the holder; the token travels
+  back down, reversing the pointers as it goes (the tree-structured
+  ancestor of the link-reversal idea the paper's Algorithm 2 also
+  descends from).
+
+**Static networks only**: Raymond's tree does not survive topology
+changes (the MANET token algorithms exist precisely to fix that); the
+harness uses this baseline for the E10 throughput comparison on static
+topologies.  Link events raise so misconfiguration fails fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.states import NodeState
+from repro.errors import ProtocolError
+from repro.net.messages import Message
+from repro.net.topology import DynamicTopology
+
+
+@dataclass(frozen=True)
+class TokenRequest(Message):
+    """Ask the parent to (eventually) send the token."""
+
+
+@dataclass(frozen=True)
+class Token(Message):
+    """The privilege token itself."""
+
+
+def spanning_tree(topology: DynamicTopology) -> Dict[int, Optional[int]]:
+    """BFS parent pointers per connected component.
+
+    The component's smallest node id is its root (parent ``None``) and
+    initially holds that component's token.
+    """
+    parents: Dict[int, Optional[int]] = {}
+    for component in topology.components():
+        root = min(component)
+        parents[root] = None
+        frontier = deque([root])
+        seen = {root}
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in sorted(topology.neighbors(node)):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parents[neighbor] = node
+                    frontier.append(neighbor)
+    return parents
+
+
+class RaymondToken(LocalMutexAlgorithm):
+    """Raymond's algorithm; a per-component token serializes eating."""
+
+    name = "token-mutex"
+
+    def __init__(
+        self, node: NodeServices, parents: Dict[int, Optional[int]]
+    ) -> None:
+        super().__init__(node)
+        self.parent: Optional[int] = parents.get(node.node_id)
+        self.holder = self.parent is None
+        self.asked = False
+        self.queue: Deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    def _request_upward(self) -> None:
+        if self.holder or self.asked or not self.queue:
+            return
+        assert self.parent is not None
+        self.node.send(self.parent, TokenRequest())
+        self.asked = True
+
+    def _assign(self) -> None:
+        """Holding the token and idle: serve the queue head."""
+        if not self.holder or self.node.state is NodeState.EATING:
+            return
+        if not self.queue:
+            return
+        head = self.queue.popleft()
+        if head == self.node_id:
+            self.node.start_eating()
+            return
+        # Pass the token down; the edge reverses (head becomes parent).
+        self.holder = False
+        self.parent = head
+        self.asked = False
+        self.node.send(head, Token())
+        # If others are still waiting here, immediately re-request.
+        self._request_upward()
+
+    # ------------------------------------------------------------------
+    def on_hungry(self) -> None:
+        self.queue.append(self.node_id)
+        if self.holder:
+            self._assign()
+        else:
+            self._request_upward()
+
+    def on_exit_cs(self) -> None:
+        # Still the holder; serve whoever queued while we ate.  Serving
+        # must wait until the state flips to THINKING, so schedule it
+        # for the same instant after the exit completes.
+        self.node.sim.schedule(0.0, self._assign)
+
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, TokenRequest):
+            self.queue.append(src)
+            if self.holder:
+                self._assign()
+            else:
+                self._request_upward()
+        elif isinstance(message, Token):
+            self.holder = True
+            self.parent = None
+            self.asked = False
+            self._assign()
+
+    # ------------------------------------------------------------------
+    def on_link_up(self, peer: int, moving: bool) -> None:
+        raise ProtocolError(
+            "token-mutex is a static-network baseline; topology changed"
+        )
+
+    def on_link_down(self, peer: int) -> None:
+        raise ProtocolError(
+            "token-mutex is a static-network baseline; topology changed"
+        )

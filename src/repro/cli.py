@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro algorithms            # list registered protocols
+    python -m repro run ...               # one simulation, summarized
+    python -m repro compare ...           # several protocols, one table
+    python -m repro locality ...          # crash probe with ASCII strip
+
+Topology specs are compact strings: ``line:13``, ``grid:25``,
+``ring:8``, ``random:20:8x6`` (20 nodes uniform in an 8x6 arena).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError, ReproError
+from repro.harness.experiments import crash_probe
+from repro.mobility import RandomWaypoint
+from repro.net.geometry import (
+    Point,
+    grid_positions,
+    line_positions,
+    random_positions,
+    ring_positions,
+)
+from repro.runtime.registry import ALGORITHMS
+from repro.runtime.simulation import ScenarioConfig, Simulation
+from repro.sim.clock import TimeBounds
+from repro.sim.rng import RandomSource
+
+
+def parse_topology(spec: str, seed: int = 0) -> Tuple[List[Point], float]:
+    """Parse a topology spec; returns (positions, suggested arena span)."""
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "line" and len(parts) == 2:
+            n = int(parts[1])
+            return list(line_positions(n, spacing=1.0)), float(n)
+        if kind == "grid" and len(parts) == 2:
+            n = int(parts[1])
+            side = max(1, round(n ** 0.5))
+            return list(grid_positions(n, spacing=1.0)), float(side)
+        if kind == "ring" and len(parts) == 2:
+            n = int(parts[1])
+            radius = max(1.0, n / 6.0)
+            return list(ring_positions(n, radius=radius)), 2 * radius
+        if kind == "random" and len(parts) == 3:
+            n = int(parts[1])
+            w, _, h = parts[2].partition("x")
+            width, height = float(w), float(h or w)
+            rng = RandomSource(seed).stream("cli-topology")
+            return list(random_positions(n, width, height, rng)), max(width, height)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad topology spec {spec!r}: {exc}") from exc
+    raise ConfigurationError(
+        f"unknown topology spec {spec!r} "
+        "(use line:N, grid:N, ring:N or random:N:WxH)"
+    )
+
+
+def parse_range(spec: str) -> Tuple[float, float]:
+    """Parse 'lo:hi' into a float pair."""
+    lo, _, hi = spec.partition(":")
+    try:
+        return float(lo), float(hi or lo)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad range {spec!r}") from exc
+
+
+def parse_crash(spec: str) -> Tuple[float, int]:
+    """Parse 'time:node' into a crash event."""
+    time, _, node = spec.partition(":")
+    try:
+        return float(time), int(node)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad crash spec {spec!r}") from exc
+
+
+def build_config(args, algorithm: Optional[str] = None) -> ScenarioConfig:
+    positions, span = parse_topology(args.topology, seed=args.seed)
+    mobility_factory = None
+    if args.movers > 0:
+        movers = args.movers
+
+        def mobility_factory(node_id, _span=span, _movers=movers):
+            if node_id < _movers:
+                return RandomWaypoint(
+                    _span, _span, speed_range=(0.5, 1.2),
+                    pause_range=(5.0, 20.0),
+                )
+            return None
+
+    return ScenarioConfig(
+        positions=positions,
+        radio_range=args.radio_range,
+        algorithm=algorithm or args.algorithm,
+        seed=args.seed,
+        bounds=TimeBounds(nu=args.nu, tau=args.tau),
+        think_range=parse_range(args.think),
+        crashes=[parse_crash(c) for c in args.crash],
+        delta_override=len(positions) - 1 if args.movers else None,
+        mobility_factory=mobility_factory,
+    )
+
+
+def summarize_result(result) -> List[Sequence]:
+    s = summarize(result.response_times)
+    return [
+        ["cs entries", result.cs_entries],
+        ["messages", result.messages_sent],
+        ["msgs / cs", f"{result.messages_per_cs():.1f}"
+         if result.messages_per_cs() is not None else "-"],
+        ["mean response", f"{s.mean:.3f}" if s else "-"],
+        ["p95 response", f"{s.p95:.3f}" if s else "-"],
+        ["max response", f"{s.maximum:.3f}" if s else "-"],
+        ["starved", ",".join(map(str, result.starved)) or "none"],
+    ]
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_algorithms(args, out) -> int:
+    rows = [[name] for name in sorted(ALGORITHMS)]
+    out.write(render_table(["algorithm"], rows) + "\n")
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    config = build_config(args)
+    result = Simulation(config).run(until=args.until)
+    out.write(render_table(
+        ["metric", "value"],
+        summarize_result(result),
+        title=f"{args.algorithm} on {args.topology} for {args.until} tu "
+              f"(seed {args.seed})",
+    ) + "\n")
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    rows = []
+    for algorithm in args.algorithms:
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        config = build_config(args, algorithm=algorithm)
+        result = Simulation(config).run(until=args.until)
+        s = summarize(result.response_times)
+        rows.append([
+            algorithm,
+            result.cs_entries,
+            f"{s.mean:.2f}" if s else "-",
+            f"{s.maximum:.2f}" if s else "-",
+            f"{result.messages_per_cs():.1f}"
+            if result.messages_per_cs() is not None else "-",
+            ",".join(map(str, result.starved)) or "-",
+        ])
+    out.write(render_table(
+        ["algorithm", "cs entries", "mean rt", "max rt", "msgs/cs", "starved"],
+        rows,
+        title=f"Comparison on {args.topology}, {args.until} tu (seed "
+              f"{args.seed})",
+    ) + "\n")
+    return 0
+
+
+def cmd_locality(args, out) -> int:
+    reports = {}
+    for algorithm in args.algorithms:
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        reports[algorithm] = crash_probe(
+            algorithm, n=args.nodes, until=args.until, seed=args.seed,
+            crash_time=args.crash_time,
+        )
+    crash_node = args.nodes // 2
+    out.write(
+        f"{args.nodes}-node line, node {crash_node} crashes while eating "
+        f"(X = crashed, # = starved, . = progressing)\n"
+    )
+    for algorithm, report in reports.items():
+        cells = []
+        for node in range(args.nodes):
+            if node == crash_node:
+                cells.append("X")
+            elif node in report.starved:
+                cells.append("#")
+            else:
+                cells.append(".")
+        radius = report.starvation_radius
+        out.write(
+            f"  {algorithm:>14s}  [{''.join(cells)}]  radius = "
+            f"{radius if radius is not None else 0}\n"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Local mutual exclusion in MANETs (Kogan, ICDCS 2008) — "
+                    "simulation CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algorithms", help="list registered protocols")
+
+    def add_common(p):
+        p.add_argument("--topology", default="line:10",
+                       help="line:N | grid:N | ring:N | random:N:WxH")
+        p.add_argument("--radio-range", type=float, default=1.0)
+        p.add_argument("--until", type=float, default=300.0,
+                       help="virtual time to simulate")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--think", default="1.0:4.0",
+                       help="think-time range lo:hi")
+        p.add_argument("--nu", type=float, default=1.0,
+                       help="max message delay")
+        p.add_argument("--tau", type=float, default=1.0,
+                       help="max eating time")
+        p.add_argument("--movers", type=int, default=0,
+                       help="first K nodes follow random waypoint")
+        p.add_argument("--crash", action="append", default=[],
+                       metavar="TIME:NODE", help="schedule a crash")
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    add_common(run_parser)
+    run_parser.add_argument("--algorithm", default="alg2",
+                            choices=sorted(ALGORITHMS))
+
+    compare_parser = sub.add_parser("compare", help="compare protocols")
+    add_common(compare_parser)
+    compare_parser.add_argument(
+        "--algorithms", nargs="+",
+        default=["alg2", "alg1-greedy", "chandy-misra"],
+    )
+
+    locality_parser = sub.add_parser(
+        "locality", help="crash probe with ASCII starvation strip"
+    )
+    locality_parser.add_argument("--nodes", type=int, default=13)
+    locality_parser.add_argument("--until", type=float, default=600.0)
+    locality_parser.add_argument("--seed", type=int, default=5)
+    locality_parser.add_argument("--crash-time", type=float, default=20.0)
+    locality_parser.add_argument(
+        "--algorithms", nargs="+",
+        default=["alg2", "alg1-linial", "chandy-misra"],
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "algorithms": cmd_algorithms,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "locality": cmd_locality,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except ReproError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""The paper's contribution: two local mutual exclusion algorithms.
+
+* :class:`~repro.core.algorithm1.Algorithm1` — doorway pipeline +
+  recoloring + fork collection (Chapter 5), with pluggable coloring
+  procedures (greedy, Algorithm 4; Linial, Algorithm 5).
+* :class:`~repro.core.algorithm2.Algorithm2` — doorway-free fork
+  collection with dynamic boolean priorities (Chapter 6); optimal
+  failure locality 2.
+
+Both are reactive state machines implementing the
+:class:`~repro.core.base.LocalMutexAlgorithm` interface, driven by the
+runtime node harness.
+"""
+
+from repro.core.algorithm1 import Algorithm1
+from repro.core.algorithm2 import Algorithm2
+from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.states import NodeState
+
+__all__ = [
+    "Algorithm1",
+    "Algorithm2",
+    "LocalMutexAlgorithm",
+    "NodeServices",
+    "NodeState",
+]

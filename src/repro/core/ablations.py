@@ -1,0 +1,125 @@
+"""Ablated protocol variants for the design-choice benchmarks.
+
+Each variant removes exactly one mechanism the paper argues for, so the
+A-series benchmarks can attribute measured properties to mechanisms:
+
+* :class:`Algorithm2NoNotify` — Algorithm 2 without the notification /
+  switch-on-notification mechanism.  The paper credits that mechanism
+  for the static O(n) response (Theorem 26): without it, a thinking
+  neighbor retains stale priority and ambushes the hungry node when it
+  wakes, re-creating the convoy behavior of prior optimal-locality
+  algorithms.
+* :class:`Algorithm1NoReturnPath` — Algorithm 1 without the SDf return
+  path (Lines 59-60 disabled).  The return path exists so a node whose
+  low neighbor departed holding their shared fork re-queues instead of
+  barging with its leftover in-doorway standing (Lemma 8's analysis
+  leans on it); removing it degrades fairness under mobility.
+* :class:`PassthroughDoorwaySet` / the ``alg1-nodoorway`` registry
+  entry — fork collection with colors but with every doorway entry
+  auto-granted.  Without doorway admission control, locally-low-colored
+  nodes can re-enter endlessly while a high-colored neighbor waits for
+  its fork set to align, inflating tail response (the effect Choy and
+  Singh introduced doorways to bound).  Only valid with a fixed legal
+  coloring (no recoloring), since doorways are also what keeps
+  concurrent recoloring sessions aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.algorithm1 import Algorithm1
+from repro.core.algorithm2 import Algorithm2
+from repro.core.base import NodeServices
+from repro.core.coloring.greedy import GreedyColoring
+from repro.core.doorway import DoorwaySet
+from repro.core.messages import Notification
+from repro.errors import ConfigurationError
+from repro.net.messages import Message
+
+
+class Algorithm2NoNotify(Algorithm2):
+    """Algorithm 2 with the notification mechanism removed (ablation A1)."""
+
+    name = "alg2-nonotify"
+
+    def on_hungry(self) -> None:
+        # Line 2 skipped: neighbors are not warned.
+        self.fork_proto.start_collection()
+
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, Notification):
+            return  # pragma: no cover - nobody sends them in this variant
+        super().on_message(src, message)
+
+
+class Algorithm1NoReturnPath(Algorithm1):
+    """Algorithm 1 with the SDf return path disabled (ablation A2)."""
+
+    name = "alg1-noreturn"
+
+    def _take_return_path(self) -> None:
+        # Lines 59-60 skipped: stay behind SDf and just re-evaluate the
+        # fork macros over the shrunken neighbor set.
+        self.fork_proto.recheck()
+
+
+class Algorithm1SelfOrganizing(Algorithm1):
+    """The self-organizing variant sketched in Chapter 7.
+
+    "It seems our first algorithm can be made self-organizing by
+    running a recoloring module to fix the colors of nodes after every
+    topology change."  Here *both* endpoints of a new link schedule a
+    recoloring before next competing — not only the mover — so color
+    ranges stay compact as the neighborhood graph densifies, at the
+    price of extra recoloring traffic (quantified in the E7/E8
+    benches when run with this variant).
+    """
+
+    name = "alg1-selforg"
+
+    def on_link_up(self, peer: int, moving: bool) -> None:
+        super().on_link_up(peer, moving)
+        if not moving:
+            # The static endpoint also refreshes its color before its
+            # next critical-section attempt.  Unlike the mover it does
+            # not abandon an in-flight attempt: interrupting a node
+            # behind SDf would forfeit its standing for no safety gain.
+            if not self._pipeline_active():
+                self.needs_recolor = True
+
+
+class PassthroughDoorwaySet(DoorwaySet):
+    """A doorway set whose every entry succeeds immediately."""
+
+    def _satisfied(self, doorway: str) -> bool:
+        return True
+
+
+class Algorithm1NoDoorways(Algorithm1):
+    """Algorithm 1's fork collection without doorway admission (ablation A3).
+
+    Requires a pre-assigned legal coloring: without doorways there is
+    nothing keeping concurrent recoloring sessions round-aligned, so
+    this variant refuses to run uncolored.
+    """
+
+    name = "alg1-nodoorway"
+
+    def __init__(
+        self,
+        node: NodeServices,
+        initial_colors: Dict[int, int],
+        coloring: Optional[GreedyColoring] = None,
+    ) -> None:
+        if initial_colors is None or node.node_id not in initial_colors:
+            raise ConfigurationError(
+                "alg1-nodoorway requires a full initial coloring"
+            )
+        super().__init__(
+            node,
+            coloring=coloring or GreedyColoring(),
+            initial_colors=initial_colors,
+        )
+        # Swap in pass-through doorways (same names, no admission).
+        self.doorways = PassthroughDoorwaySet(node, self._on_crossed)

@@ -1,0 +1,149 @@
+"""Algorithm 2: optimal failure locality via dynamic priorities (Chapter 6).
+
+No doorways and no colors: each node keeps a boolean ``higher[j]`` per
+neighbor ("j currently has priority over me").  A node that becomes
+hungry first *notifies* its neighbors; a thinking neighbor that still
+outranks the requester responds by *switching* — lowering itself below
+all of its neighbors — so standing priority can never be hoarded by
+passive nodes (this is what buys the O(n) static response time of
+Theorem 26).  A node exiting its critical section likewise lowers
+itself below everyone (the link-reversal step that keeps the priority
+graph acyclic, Lemma 24).
+
+Fork collection itself is the shared engine with ``higher[]`` in place
+of color comparisons; the "outside SDf" grant bypass becomes "I am
+thinking" since there is no doorway to be outside of.
+
+Failure locality is the optimal 2 (Theorem 25): a crashed node can
+strand only the neighbors waiting on its forks and, transitively, their
+neighbors waiting on *those* forks — never further, because a hungry
+node with all low forks suspends high requests only while its crashed
+high neighbor keeps it from eating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.fork_collection import ForkProtocol
+from repro.core.forks import ForkTable
+from repro.core.messages import ForkGrant, ForkRequest, Notification, Switch
+from repro.core.states import NodeState
+from repro.net.messages import Message
+
+
+class Algorithm2(LocalMutexAlgorithm):
+    """The second algorithm (Algorithms 6 and 7)."""
+
+    name = "alg2"
+
+    def __init__(self, node: NodeServices) -> None:
+        super().__init__(node)
+        #: higher[j] — neighbor j has priority over us.  Exactly one of
+        #: higher_i[j] / higher_j[i] holds except while a switch message
+        #: is in transit (both True), preserving Lemma 24's acyclicity.
+        self.higher: Dict[int, bool] = {}
+        self.forks = ForkTable()
+        self.fork_proto = ForkProtocol(self)
+        #: Counter for experiments.
+        self.switches_sent = 0
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def bootstrap_peer(self, peer: int) -> None:
+        """Initial state: smaller ID holds the fork and yields priority."""
+        self.forks.set_holds(peer, self.node_id < peer)
+        self.higher[peer] = self.node_id < peer
+
+    # ------------------------------------------------------------------
+    # ForkHost interface
+    # ------------------------------------------------------------------
+    def is_low(self, peer: int) -> bool:
+        return self.higher.get(peer, False)
+
+    def collecting(self) -> bool:
+        return self.node.state is NodeState.HUNGRY
+
+    def bypass_grants(self) -> bool:
+        return self.node.state is NodeState.THINKING
+
+    def want_back(self, peer: int) -> bool:
+        return self.is_low(peer) and self.node.state is NodeState.HUNGRY
+
+    def enter_cs(self) -> None:
+        self.node.start_eating()
+
+    # ------------------------------------------------------------------
+    # Application upcalls
+    # ------------------------------------------------------------------
+    def on_hungry(self) -> None:
+        """Lines 1-5: notify everyone, then start collecting."""
+        self.node.broadcast(Notification())
+        self.fork_proto.start_collection()
+
+    def on_exit_cs(self) -> None:
+        """Lines 6-9: lower our priority below all, grant suspensions."""
+        self._switch_below_all()
+        self.fork_proto.grant_suspended()
+        self.fork_proto.clear_requests()
+
+    def _switch_below_all(self) -> None:
+        """Send ``switch`` to every neighbor we currently outrank."""
+        for peer in sorted(self.node.neighbors()):
+            if not self.higher.get(peer, False):
+                self.node.send(peer, Switch())
+                self.higher[peer] = True
+                self.switches_sent += 1
+
+    # ------------------------------------------------------------------
+    # Messages
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, message: Message) -> None:
+        if isinstance(message, ForkRequest):
+            self.fork_proto.handle_request(src)
+        elif isinstance(message, ForkGrant):
+            self.fork_proto.handle_fork(src, message.flag)
+        elif isinstance(message, Notification):
+            # Lines 22-25: a thinking node that outranks the requester
+            # steps below all of its neighbors.
+            if (
+                self.node.state is NodeState.THINKING
+                and not self.higher.get(src, False)
+            ):
+                self._switch_below_all()
+        elif isinstance(message, Switch):
+            # Lines 26-27 — plus a progress re-check: the sender just
+            # became our high neighbor, which can complete all-low-forks.
+            self.higher[src] = False
+            self.fork_proto.recheck()
+
+    # ------------------------------------------------------------------
+    # Link dynamics (Algorithm 7)
+    # ------------------------------------------------------------------
+    def on_link_up(self, peer: int, moving: bool) -> None:
+        if not moving:
+            # Lines 40-41: the static endpoint owns the fork and the
+            # priority (bias toward non-moving nodes, Section 3.1).
+            self.forks.link_created(peer, we_are_static=True)
+            self.higher[peer] = False
+            return
+        # Lines 42-46: the mover yields the fork and all priority.
+        self.forks.link_created(peer, we_are_static=False)
+        self.higher[peer] = True
+        if self.node.state is NodeState.EATING:
+            self.node.demote_to_hungry()  # Line 44
+        self._switch_below_all()  # Lines 45-46
+        # Resume collection against the new neighborhood (the proof of
+        # Theorem 25 restarts the response-time analysis at the move).
+        self.fork_proto.recheck()
+
+    def on_link_down(self, peer: int) -> None:
+        # Lines 47-48 (S := S \ {j}) plus per-link state destruction.
+        self.forks.link_destroyed(peer)
+        self.higher.pop(peer, None)
+        self.fork_proto.forget_peer(peer)
+        # A departed neighbor may have been the only reason we could not
+        # eat; the macros are over the *current* neighbor set.
+        self.fork_proto.recheck()

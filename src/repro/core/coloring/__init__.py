@@ -1,0 +1,27 @@
+"""Coloring procedures pluggable into Algorithm 1's recoloring module.
+
+Two implementations, matching the paper's Section 5.4:
+
+* :class:`~repro.core.coloring.greedy.GreedyColoring` (Algorithm 4) —
+  floods the subgraph of concurrently-recoloring nodes and colors it
+  greedily.  O(n) rounds / failure locality, colors in [0, delta];
+  needs no knowledge of n or delta.
+* :class:`~repro.core.coloring.linial.LinialColoring` (Algorithm 5) —
+  O(log* n) rounds of cover-free-family color reduction.  Assumes n and
+  delta known; colors in O(delta^2 log delta) after the final round.
+
+Both are *session factories*: Algorithm 1 creates one session per
+recoloring run.
+"""
+
+from repro.core.coloring.cover_free import PolynomialFamily, reduction_schedule
+from repro.core.coloring.greedy import GreedyColoring, greedy_color_graph
+from repro.core.coloring.linial import LinialColoring
+
+__all__ = [
+    "GreedyColoring",
+    "LinialColoring",
+    "PolynomialFamily",
+    "greedy_color_graph",
+    "reduction_schedule",
+]

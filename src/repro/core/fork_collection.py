@@ -1,0 +1,214 @@
+"""The fork-collection engine shared by Algorithm 1 and Algorithm 6.
+
+Both algorithms collect forks the same way — low (higher-priority)
+forks first, then high forks, with suspension rules that give low
+neighbors precedence — and differ only in *how priority is decided*
+(colors vs. the ``higher[]`` flags) and in *what gates collection*
+(being behind the SDf doorway vs. simply being hungry).  This module
+implements the shared mechanics against a small host interface, so each
+algorithm's listing stays a direct transcription of the paper.
+
+Mapping to the paper's listings (Algorithm 1 / Algorithm 6):
+
+=====================  ======================================
+``start_collection``   Lines 1-4 / 3-5
+``handle_request``     Lines 10-16 / 10-14
+``handle_fork``        Lines 17-23 / 15-21
+``send_fork``          Lines 30-32 / 34-36
+``release_high``       Lines 33-35 / 37-39
+``grant_suspended``    Line 8 / Line 9
+=====================  ======================================
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.base import NodeServices
+from repro.core.forks import ForkTable
+from repro.core.messages import ForkGrant, ForkRequest
+
+
+class ForkHost(Protocol):
+    """What the fork engine needs from its algorithm."""
+
+    node: NodeServices
+    forks: ForkTable
+
+    def is_low(self, peer: int) -> bool:
+        """True iff ``peer`` has priority over us (smaller color /
+        ``higher[peer]``)."""
+        ...
+
+    def collecting(self) -> bool:
+        """True iff we are actively collecting forks (hungry and, for
+        Algorithm 1, behind SDf)."""
+        ...
+
+    def bypass_grants(self) -> bool:
+        """The "outside SDf" / "thinking" disjunct: grant requests
+        unconditionally because we are not competing."""
+        ...
+
+    def want_back(self, peer: int) -> bool:
+        """The flag of the fork message (Line 31 / Line 35)."""
+        ...
+
+    def enter_cs(self) -> None:
+        """All forks collected: enter the critical section."""
+        ...
+
+
+class ForkProtocol:
+    """Priority-based fork collection for one node."""
+
+    def __init__(self, host: ForkHost) -> None:
+        self._host = host
+        # Dedup of outstanding requests; purely an optimization (the
+        # protocol tolerates duplicates) to keep message counts honest.
+        self._requested: set = set()
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _neighbors(self):
+        return self._host.node.neighbors()
+
+    def all_forks(self) -> bool:
+        return self._host.forks.all_forks(self._neighbors())
+
+    def all_low_forks(self) -> bool:
+        return self._host.forks.all_low_forks(self._neighbors(), self._host.is_low)
+
+    # ------------------------------------------------------------------
+    # Collection entry point (SDf crossed / became hungry)
+    # ------------------------------------------------------------------
+    def start_collection(self) -> None:
+        """Lines 1-4: eat if possible, else request the missing tier."""
+        self._requested.clear()
+        if self.all_forks():
+            self._host.enter_cs()
+        elif self.all_low_forks():
+            self.request_high_forks()
+        else:
+            self.request_low_forks()
+
+    def recheck(self) -> None:
+        """Re-evaluate progress after the neighbor set or priorities change.
+
+        The listings evaluate ``all-forks`` / ``all-low-forks`` whenever
+        an event fires; link failures and ``switch`` messages change the
+        truth of those macros without a fork arriving, so the host calls
+        this after such events (the proofs of Lemmas 8-9 rely on the
+        node proceeding once a blocking neighbor departs).
+        """
+        if not self._host.collecting():
+            return
+        if self.all_forks():
+            self._host.enter_cs()
+        elif self.all_low_forks():
+            self.request_high_forks()
+        else:
+            self.request_low_forks()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request_low_forks(self) -> None:
+        """Lines 24-26: ask every low neighbor for the missing fork."""
+        host = self._host
+        for peer in host.forks.missing(self._neighbors(), host.is_low):
+            self._request(peer)
+
+    def request_high_forks(self) -> None:
+        """Lines 27-29: ask every high neighbor for the missing fork."""
+        host = self._host
+        for peer in host.forks.missing(
+            self._neighbors(), lambda j: not host.is_low(j)
+        ):
+            self._request(peer)
+
+    def _request(self, peer: int) -> None:
+        if peer in self._requested:
+            return
+        self._requested.add(peer)
+        self._host.node.send(peer, ForkRequest())
+
+    # ------------------------------------------------------------------
+    # Request handling (Lines 10-16)
+    # ------------------------------------------------------------------
+    def handle_request(self, src: int) -> None:
+        host = self._host
+        if not host.forks.holds(src):
+            return  # the fork is already on its way to src
+        if not host.is_low(src):
+            # Request from a high neighbor: grant unless we hold all low
+            # forks while competing.
+            if not self.all_low_forks() or host.bypass_grants():
+                self.send_fork(src)
+            else:
+                host.forks.suspended.add(src)
+        else:
+            # Request from a low neighbor: grant unless we already hold
+            # everything (we are eating or about to).
+            if not self.all_forks() or host.bypass_grants():
+                self.send_fork(src)
+                self.release_high_forks()
+            else:
+                host.forks.suspended.add(src)
+
+    # ------------------------------------------------------------------
+    # Fork receipt (Lines 17-23)
+    # ------------------------------------------------------------------
+    def handle_fork(self, src: int, flag: bool) -> None:
+        host = self._host
+        host.forks.set_holds(src, True)
+        self._requested.discard(src)
+        if not host.collecting():
+            # Not competing (thinking, or hungry outside SDf after the
+            # return path): honor a want-back immediately rather than
+            # strand the sender.
+            if flag:
+                self.send_fork(src)
+            return
+        if self.all_forks():
+            host.enter_cs()
+        if self.all_low_forks():
+            if flag:
+                host.forks.suspended.add(src)
+            self.request_high_forks()
+        elif flag:
+            self.send_fork(src)
+
+    # ------------------------------------------------------------------
+    # Granting
+    # ------------------------------------------------------------------
+    def send_fork(self, peer: int) -> None:
+        """Lines 30-32: hand the fork over, with the want-back flag."""
+        host = self._host
+        host.node.send(peer, ForkGrant(flag=host.want_back(peer)))
+        host.forks.set_holds(peer, False)
+        host.forks.suspended.discard(peer)
+
+    def release_high_forks(self) -> None:
+        """Lines 33-35: grant suspended high-fork requests we can satisfy."""
+        host = self._host
+        for peer in sorted(host.forks.suspended):
+            if not host.is_low(peer) and host.forks.holds(peer):
+                self.send_fork(peer)
+
+    def grant_suspended(self) -> None:
+        """Line 8 / Line 9: grant every suspended request."""
+        host = self._host
+        for peer in sorted(host.forks.suspended):
+            if host.forks.holds(peer) and peer in self._neighbors():
+                self.send_fork(peer)
+        host.forks.suspended.clear()
+
+    def clear_requests(self) -> None:
+        """Forget request dedup state (leaving SDf / finishing a cycle)."""
+        self._requested.clear()
+
+    def forget_peer(self, peer: int) -> None:
+        """Link to ``peer`` failed: drop any outstanding request state."""
+        self._requested.discard(peer)

@@ -1,0 +1,72 @@
+"""Per-node fork bookkeeping shared by Algorithms 1 and 6.
+
+A fork is a token shared by the two endpoints of a live link; holding
+it means holding the neighbor's permission to eat.  Forks are created
+at link formation (owned by the static endpoint) and destroyed at link
+failure.  ``at[j]`` is the paper's boolean "I hold the fork shared with
+p_j"; ``S`` is the set of neighbors whose fork requests are suspended.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Set
+
+
+class ForkTable:
+    """The ``at[]`` array and suspended-request set ``S`` of one node."""
+
+    def __init__(self) -> None:
+        self._at: Dict[int, bool] = {}
+        self.suspended: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # The at[] predicate
+    # ------------------------------------------------------------------
+    def holds(self, peer: int) -> bool:
+        """``at[peer]`` — True iff we hold the fork shared with peer."""
+        return self._at.get(peer, False)
+
+    def set_holds(self, peer: int, value: bool) -> None:
+        self._at[peer] = value
+
+    def known_peers(self) -> Iterable[int]:
+        return self._at.keys()
+
+    # ------------------------------------------------------------------
+    # Link lifecycle
+    # ------------------------------------------------------------------
+    def link_created(self, peer: int, we_are_static: bool) -> None:
+        """Fork created with the link, owned by the static endpoint."""
+        self._at[peer] = we_are_static
+        self.suspended.discard(peer)
+
+    def link_destroyed(self, peer: int) -> None:
+        """Fork destroyed with the link."""
+        self._at.pop(peer, None)
+        self.suspended.discard(peer)
+
+    # ------------------------------------------------------------------
+    # The all-forks / all-low-forks macros (Section 5.2)
+    # ------------------------------------------------------------------
+    def all_forks(self, neighbors: FrozenSet[int]) -> bool:
+        """True iff we hold the fork of every current neighbor."""
+        return all(self._at.get(j, False) for j in neighbors)
+
+    def all_low_forks(
+        self, neighbors: FrozenSet[int], is_low: Callable[[int], bool]
+    ) -> bool:
+        """True iff we hold every fork shared with a *low* neighbor.
+
+        A low neighbor is one with higher priority (smaller color in
+        Algorithm 1, ``higher[j]`` true in Algorithm 6); the predicate
+        is injected by the host algorithm.
+        """
+        return all(self._at.get(j, False) for j in neighbors if is_low(j))
+
+    def missing(
+        self, neighbors: FrozenSet[int], want: Callable[[int], bool]
+    ) -> Iterable[int]:
+        """Neighbors matching ``want`` whose fork we do not hold (sorted)."""
+        return sorted(
+            j for j in neighbors if want(j) and not self._at.get(j, False)
+        )

@@ -1,0 +1,39 @@
+"""Node states of the local mutual exclusion problem (Section 3.2).
+
+Every node cycles thinking -> hungry -> eating -> thinking.  The
+external application moves thinking -> hungry and (implicitly, by
+finishing its critical section) eating -> thinking; the algorithms move
+hungry -> eating, and — uniquely to the mobile setting — may demote an
+eating node back to hungry when it moves into a new neighborhood.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProtocolError
+
+
+class NodeState(enum.Enum):
+    """The three state sets of Section 3.2."""
+
+    THINKING = "thinking"
+    HUNGRY = "hungry"
+    EATING = "eating"
+
+
+#: Legal transitions and who initiates them (documented, also enforced).
+_ALLOWED_TRANSITIONS = {
+    (NodeState.THINKING, NodeState.HUNGRY),   # application request
+    (NodeState.HUNGRY, NodeState.EATING),     # algorithm grants CS
+    (NodeState.EATING, NodeState.THINKING),   # application finishes CS
+    (NodeState.EATING, NodeState.HUNGRY),     # mobility demotion (Line 50)
+}
+
+
+def check_transition(current: NodeState, target: NodeState) -> None:
+    """Raise :class:`ProtocolError` on an illegal state transition."""
+    if (current, target) not in _ALLOWED_TRANSITIONS:
+        raise ProtocolError(
+            f"illegal state transition {current.value} -> {target.value}"
+        )

@@ -1,0 +1,27 @@
+"""Experiment harness: canonical runners for every table and figure.
+
+Each experiment function returns ``(headers, rows)`` suitable for
+:func:`repro.analysis.tables.render_table`; the benchmarks print them
+at paper scale and the test suite asserts their qualitative shape at
+reduced scale.  EXPERIMENTS.md records the expected outcomes.
+"""
+
+from repro.harness.experiments import (
+    compare_algorithms,
+    crash_probe,
+    doorway_latency,
+    fig6_crash_scenario,
+    pipeline_breakdown,
+    response_vs_n,
+    run_static,
+)
+
+__all__ = [
+    "compare_algorithms",
+    "crash_probe",
+    "doorway_latency",
+    "fig6_crash_scenario",
+    "pipeline_breakdown",
+    "response_vs_n",
+    "run_static",
+]

@@ -1,0 +1,129 @@
+"""Multi-seed experiment replication with confidence intervals.
+
+One seed is an anecdote.  The replication helpers here re-run a
+scenario across seeds and aggregate per-seed scalar metrics into a
+mean with a Student-t confidence interval, which the benchmark suite
+uses for its headline comparisons and which downstream users get for
+free when evaluating their own configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.runtime.simulation import ScenarioConfig, Simulation, SimulationResult
+
+#: Two-sided 95% Student-t critical values by degrees of freedom (1..30);
+#: falls back to the normal 1.96 beyond the table.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179,
+    13: 2.160, 14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101,
+    19: 2.093, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95% t critical value."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if dof in _T_95:
+        return _T_95[dof]
+    for key in sorted(_T_95):
+        if dof < key:
+            return _T_95[key]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A mean with a symmetric 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "Estimate") -> bool:
+        """True when the two intervals intersect."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f} (n={self.samples})"
+
+
+def estimate(values: Sequence[float]) -> Estimate:
+    """95% CI estimate of a scalar's mean across replications."""
+    data = list(values)
+    if not data:
+        raise ValueError("estimate of empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    if n == 1:
+        return Estimate(mean, float("inf"), 1)
+    variance = sum((v - mean) ** 2 for v in data) / (n - 1)
+    half = t_critical_95(n - 1) * math.sqrt(variance / n)
+    return Estimate(mean, half, n)
+
+
+MetricFn = Callable[[SimulationResult], float]
+
+
+def replicate(
+    config: ScenarioConfig,
+    until: float,
+    seeds: Sequence[int],
+    metrics: Dict[str, MetricFn],
+) -> Dict[str, Estimate]:
+    """Run a scenario under each seed; estimate each scalar metric.
+
+    The scenario is rebuilt per seed (``dataclasses.replace``), so all
+    stochastic inputs — workload, message jitter, mobility — re-draw.
+    """
+    samples: Dict[str, List[float]] = {name: [] for name in metrics}
+    for seed in seeds:
+        seeded = dataclasses.replace(config, seed=seed)
+        result = Simulation(seeded).run(until=until)
+        for name, fn in metrics.items():
+            samples[name].append(fn(result))
+    return {name: estimate(values) for name, values in samples.items()}
+
+
+# Ready-made metric extractors ------------------------------------------------
+
+
+def mean_response(result: SimulationResult) -> float:
+    times = result.response_times
+    return sum(times) / len(times) if times else float("nan")
+
+
+def max_response(result: SimulationResult) -> float:
+    times = result.response_times
+    return max(times) if times else float("nan")
+
+
+def throughput(result: SimulationResult) -> float:
+    return result.cs_entries / result.duration if result.duration else 0.0
+
+
+def message_cost(result: SimulationResult) -> float:
+    per_cs = result.messages_per_cs()
+    return per_cs if per_cs is not None else float("nan")
+
+
+DEFAULT_METRICS: Dict[str, MetricFn] = {
+    "mean_response": mean_response,
+    "max_response": max_response,
+    "throughput": throughput,
+    "messages_per_cs": message_cost,
+}

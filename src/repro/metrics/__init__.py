@@ -1,0 +1,13 @@
+"""Measurement: response times, safety checking, failure locality."""
+
+from repro.metrics.collector import MetricsCollector, ResponseSample
+from repro.metrics.locality import LocalityReport, measure_failure_locality
+from repro.metrics.safety import SafetyMonitor
+
+__all__ = [
+    "LocalityReport",
+    "MetricsCollector",
+    "ResponseSample",
+    "SafetyMonitor",
+    "measure_failure_locality",
+]

@@ -1,0 +1,169 @@
+"""Mobility episodes and the controller executing them."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.geometry import Point
+from repro.net.linklayer import LinkLayer
+from repro.net.topology import DynamicTopology
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One movement episode: travel to ``destination`` at ``speed``.
+
+    ``start_delay`` is measured from the moment the model is consulted.
+    A non-positive ``speed`` means an instantaneous relocation
+    (teleport) — used by scripted scenarios that only care about the
+    before/after topologies, not the path.
+    """
+
+    start_delay: float
+    destination: Point
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.start_delay < 0:
+            raise ConfigurationError(
+                f"episode start_delay must be >= 0, got {self.start_delay}"
+            )
+
+
+class MobilityModel(abc.ABC):
+    """Produces the next movement episode for a node, or None to rest."""
+
+    @abc.abstractmethod
+    def next_episode(
+        self, node_id: int, now: float, topology: DynamicTopology, rng
+    ) -> Optional[Episode]:
+        """Return the node's next episode, or None if it stays put forever."""
+
+
+class MobilityController:
+    """Executes mobility models against the topology and link layer.
+
+    One controller serves the whole network; each node may have its own
+    model.  All position updates run at :data:`EventPriority.TOPOLOGY`
+    so that link indications precede same-instant protocol events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: DynamicTopology,
+        linklayer: LinkLayer,
+        rng_source,
+        step_length: float = 0.25,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if step_length <= 0:
+            raise ConfigurationError(
+                f"step_length must be positive, got {step_length}"
+            )
+        self._sim = sim
+        self._topology = topology
+        self._linklayer = linklayer
+        self._rng_source = rng_source
+        self._step_length = step_length
+        self._trace = trace
+        self._models: Dict[int, MobilityModel] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def attach(self, node_id: int, model: MobilityModel) -> None:
+        """Give ``node_id`` a mobility model (replacing any previous one)."""
+        self._models[node_id] = model
+        if self._started:
+            self._consult(node_id)
+
+    def start(self) -> None:
+        """Begin consulting every attached model."""
+        self._started = True
+        for node_id in sorted(self._models):
+            self._consult(node_id)
+
+    # ------------------------------------------------------------------
+    # Direct episode execution (used by scripted scenarios and tests)
+    # ------------------------------------------------------------------
+    def move_node(self, node_id: int, destination: Point, speed: float) -> None:
+        """Start moving a node right now (outside any model schedule)."""
+        self._begin_episode(node_id, Episode(0.0, destination, speed),
+                            resume_model=False)
+
+    def teleport(self, node_id: int, destination: Point) -> None:
+        """Relocate a node instantaneously (still flagged as a move)."""
+        self.move_node(node_id, destination, speed=0.0)
+
+    # ------------------------------------------------------------------
+    def _consult(self, node_id: int) -> None:
+        if self._linklayer.is_crashed(node_id):
+            return
+        model = self._models.get(node_id)
+        if model is None:
+            return
+        rng = self._rng_source.stream("mobility", node_id)
+        episode = model.next_episode(node_id, self._sim.now, self._topology, rng)
+        if episode is None:
+            return
+        self._sim.schedule(
+            episode.start_delay,
+            self._begin_episode,
+            node_id,
+            episode,
+            True,
+            priority=EventPriority.TOPOLOGY,
+        )
+
+    def _begin_episode(
+        self, node_id: int, episode: Episode, resume_model: bool = True
+    ) -> None:
+        if self._linklayer.is_crashed(node_id):
+            return
+        self._linklayer.set_moving(node_id, True)
+        if episode.speed <= 0:
+            # Teleport: one position update while flagged moving.
+            diff = self._topology.set_position(node_id, episode.destination)
+            self._linklayer.apply_diff(diff)
+            self._finish_episode(node_id, resume_model)
+            return
+        self._step(node_id, episode, resume_model)
+
+    def _step(self, node_id: int, episode: Episode, resume_model: bool) -> None:
+        if self._linklayer.is_crashed(node_id):
+            # Crashed mid-flight: freeze in place, still flagged moving is
+            # wrong — clear the flag without emitting a stop signal storm.
+            self._linklayer.set_moving(node_id, False)
+            return
+        current = self._topology.position(node_id)
+        nxt = current.towards(episode.destination, self._step_length)
+        diff = self._topology.set_position(node_id, nxt)
+        self._linklayer.apply_diff(diff)
+        if nxt == episode.destination:
+            self._finish_episode(node_id, resume_model)
+            return
+        step_time = self._step_length / episode.speed
+        self._sim.schedule(
+            step_time,
+            self._step,
+            node_id,
+            episode,
+            resume_model,
+            priority=EventPriority.TOPOLOGY,
+        )
+
+    def _finish_episode(self, node_id: int, resume_model: bool) -> None:
+        self._linklayer.set_moving(node_id, False)
+        if self._trace is not None:
+            pos = self._topology.position(node_id)
+            self._trace.record(
+                self._sim.now, "move.arrived", node_id, x=pos.x, y=pos.y
+            )
+        if resume_model:
+            self._consult(node_id)

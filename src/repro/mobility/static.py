@@ -1,0 +1,21 @@
+"""The trivial mobility model: nobody moves."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mobility.base import Episode, MobilityModel
+from repro.net.topology import DynamicTopology
+
+
+class StaticMobility(MobilityModel):
+    """No movement, ever.
+
+    Used for the static-setting experiments (Theorems 17, 23, 26) and as
+    the default when a scenario does not configure mobility.
+    """
+
+    def next_episode(
+        self, node_id: int, now: float, topology: DynamicTopology, rng
+    ) -> Optional[Episode]:
+        return None

@@ -1,0 +1,53 @@
+"""Scripted mobility for scenario reproductions.
+
+The Figure 6 benchmark (and several tests) need exact, repeatable
+movement: "p3 moves out of range at t=40".  A :class:`ScriptedMobility`
+replays a per-node list of :class:`ScriptedMove` entries at absolute
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Episode, MobilityModel
+from repro.net.geometry import Point
+from repro.net.topology import DynamicTopology
+
+
+@dataclass(frozen=True)
+class ScriptedMove:
+    """One scheduled movement: go to ``destination`` starting at ``time``.
+
+    ``speed <= 0`` teleports (the topology flips in one instant, still
+    flagged as a move for symmetry-breaking purposes).
+    """
+
+    time: float
+    destination: Point
+    speed: float = 0.0
+
+
+class ScriptedMobility(MobilityModel):
+    """Replay a fixed move list for one node."""
+
+    def __init__(self, moves: List[ScriptedMove]) -> None:
+        ordered = sorted(moves, key=lambda m: m.time)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.time < earlier.time:  # pragma: no cover - sorted above
+                raise ConfigurationError("moves must have nondecreasing times")
+        self._moves = ordered
+        self._next_index = 0
+
+    def next_episode(
+        self, node_id: int, now: float, topology: DynamicTopology, rng
+    ) -> Optional[Episode]:
+        if self._next_index >= len(self._moves):
+            return None
+        move = self._moves[self._next_index]
+        self._next_index += 1
+        delay = max(0.0, move.time - now)
+        return Episode(start_delay=delay, destination=move.destination,
+                       speed=move.speed)

@@ -1,0 +1,52 @@
+"""Random walk mobility: short hops in random directions.
+
+Unlike random waypoint, a walker's displacement per episode is bounded,
+producing frequent *local* neighborhood changes — the regime that
+stresses the recoloring module of Algorithm 1 hardest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Episode, MobilityModel
+from repro.net.geometry import Point
+from repro.net.topology import DynamicTopology
+
+
+class RandomWalk(MobilityModel):
+    """Fixed-radius random walk clipped to a rectangular arena."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        hop_range=(0.5, 1.5),
+        speed: float = 1.0,
+        pause_range=(1.0, 5.0),
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("arena dimensions must be positive")
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed}")
+        lo, hi = hop_range
+        if not 0 < lo <= hi:
+            raise ConfigurationError(f"bad hop range {hop_range}")
+        self.width = width
+        self.height = height
+        self.hop_range = (lo, hi)
+        self.speed = speed
+        self.pause_range = pause_range
+
+    def next_episode(
+        self, node_id: int, now: float, topology: DynamicTopology, rng
+    ) -> Optional[Episode]:
+        pause = rng.uniform(*self.pause_range)
+        origin = topology.position(node_id)
+        angle = rng.uniform(0, 2 * math.pi)
+        hop = rng.uniform(*self.hop_range)
+        x = min(max(origin.x + hop * math.cos(angle), 0.0), self.width)
+        y = min(max(origin.y + hop * math.sin(angle), 0.0), self.height)
+        return Episode(start_delay=pause, destination=Point(x, y), speed=self.speed)

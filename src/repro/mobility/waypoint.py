@@ -1,0 +1,47 @@
+"""Random waypoint mobility — the standard MANET evaluation model.
+
+Each node repeatedly: pauses for a random time, picks a uniformly
+random destination inside the arena, and travels there in a straight
+line at a uniformly random speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import Episode, MobilityModel
+from repro.net.geometry import Point
+from repro.net.topology import DynamicTopology
+
+
+class RandomWaypoint(MobilityModel):
+    """Classic random-waypoint over a rectangular arena."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        speed_range=(0.5, 1.5),
+        pause_range=(1.0, 5.0),
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("arena dimensions must be positive")
+        lo, hi = speed_range
+        if not 0 < lo <= hi:
+            raise ConfigurationError(f"bad speed range {speed_range}")
+        plo, phi = pause_range
+        if not 0 <= plo <= phi:
+            raise ConfigurationError(f"bad pause range {pause_range}")
+        self.width = width
+        self.height = height
+        self.speed_range = (lo, hi)
+        self.pause_range = (plo, phi)
+
+    def next_episode(
+        self, node_id: int, now: float, topology: DynamicTopology, rng
+    ) -> Optional[Episode]:
+        pause = rng.uniform(*self.pause_range)
+        destination = Point(rng.uniform(0, self.width), rng.uniform(0, self.height))
+        speed = rng.uniform(*self.speed_range)
+        return Episode(start_delay=pause, destination=destination, speed=speed)

@@ -1,0 +1,155 @@
+"""Reliable FIFO bounded-delay message channels.
+
+One :class:`ChannelLayer` serves the whole network.  Each *directed*
+link (src, dst) is a FIFO queue: deliveries on a link are clamped to be
+strictly increasing in time even when a later message draws a smaller
+random delay.  Delays are bounded by ``nu`` per the paper's model.
+
+Reliability caveat that the paper shares: a link only carries messages
+while it exists.  If the link goes down (an endpoint moved) while a
+message is in flight, the message is dropped — the algorithms must (and
+do) tolerate this, because the paper destroys per-link state (forks, L[]
+entries) on link failure.  Messages to crashed nodes are delivered into
+the void (the crashed node ignores everything), matching silent crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.net.messages import Message
+from repro.net.topology import DynamicTopology
+from repro.sim.clock import TIME_EPSILON, TimeBounds
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceLog
+
+DeliverFn = Callable[[int, int, Message], None]
+
+
+class ChannelStats:
+    """Message accounting, broken down by message kind."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_link_down = 0
+        self.by_kind: Dict[str, int] = {}
+
+    def note_sent(self, kind: str) -> None:
+        self.sent += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the per-kind send counters."""
+        return dict(self.by_kind)
+
+
+class ChannelLayer:
+    """All directed FIFO channels of the network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: DynamicTopology,
+        bounds: TimeBounds,
+        rng,
+        deliver: DeliverFn,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        """
+        Args:
+            sim: the shared event engine.
+            topology: consulted at send and delivery time for link existence.
+            bounds: supplies the message-delay distribution.
+            rng: a ``random.Random`` used for delay jitter.
+            deliver: callback invoked as ``deliver(src, dst, message)``
+                when a message arrives at a live link endpoint.
+            trace: optional trace log.
+        """
+        self._sim = sim
+        self._topology = topology
+        self._bounds = bounds
+        self._rng = rng
+        self._deliver = deliver
+        self._trace = trace
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        # A link that breaks and re-forms is a *new* link in the paper's
+        # model (fresh fork, fresh doorway state).  Incarnation counters
+        # keep messages from a dead incarnation out of the new one.
+        self._incarnation: Dict[Tuple[int, int], int] = {}
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Send one message over the (src, dst) link.
+
+        Raises:
+            TopologyError: if src and dst are not currently neighbors.
+                Protocol code only ever talks to its neighbor set, so a
+                non-neighbor send is a protocol bug worth failing fast on.
+        """
+        if not self._topology.has_link(src, dst):
+            raise TopologyError(
+                f"send on non-existent link {src}->{dst} "
+                f"(message {message.kind})"
+            )
+        delay = self._bounds.draw_message_delay(self._rng)
+        arrival = self._sim.now + delay
+        key = (src, dst)
+        floor = self._last_arrival.get(key)
+        if floor is not None and arrival <= floor:
+            arrival = floor + TIME_EPSILON
+        self._last_arrival[key] = arrival
+        incarnation = self._incarnation.get(self._link_id(src, dst), 0)
+        self.stats.note_sent(message.kind)
+        if self._trace is not None:
+            self._trace.record(
+                self._sim.now, "msg.send", src, dst=dst, kind=message.kind
+            )
+        self._sim.schedule_at(arrival, self._arrive, src, dst, message, incarnation)
+
+    def broadcast(self, src: int, neighbors, message: Message) -> None:
+        """Send the same message to every node in ``neighbors``.
+
+        The paper's "broadcast" is a local broadcast to the current
+        neighbor set; we model it as unicasts (each with its own delay),
+        which is the standard conservative interpretation for an
+        asynchronous MANET and only weakens timing, never FIFO-ness.
+        """
+        for dst in sorted(neighbors):
+            self.send(src, dst, message)
+
+    # ------------------------------------------------------------------
+    def link_down(self, a: int, b: int) -> None:
+        """Forget FIFO state for a destroyed link (both directions).
+
+        In-flight messages on the link are implicitly dropped: their
+        delivery events still fire but :meth:`_arrive` discards them
+        because the link no longer exists or carries a newer incarnation.
+        """
+        self._last_arrival.pop((a, b), None)
+        self._last_arrival.pop((b, a), None)
+        key = self._link_id(a, b)
+        self._incarnation[key] = self._incarnation.get(key, 0) + 1
+
+    @staticmethod
+    def _link_id(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    # ------------------------------------------------------------------
+    def _arrive(self, src: int, dst: int, message: Message, incarnation: int) -> None:
+        stale = incarnation != self._incarnation.get(self._link_id(src, dst), 0)
+        if stale or not self._topology.has_link(src, dst):
+            self.stats.dropped_link_down += 1
+            if self._trace is not None:
+                self._trace.record(
+                    self._sim.now, "msg.drop", src, dst=dst, kind=message.kind
+                )
+            return
+        self.stats.delivered += 1
+        if self._trace is not None:
+            self._trace.record(
+                self._sim.now, "msg.recv", dst, src=src, kind=message.kind
+            )
+        self._deliver(src, dst, message)

@@ -1,0 +1,99 @@
+"""Planar geometry for the unit-disk radio model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2D position."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def towards(self, other: "Point", step: float) -> "Point":
+        """Move ``step`` units toward ``other`` (clamping at ``other``)."""
+        total = self.distance_to(other)
+        if total <= step or total == 0.0:
+            return other
+        frac = step / total
+        return Point(self.x + (other.x - self.x) * frac,
+                     self.y + (other.y - self.y) * frac)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def segment_points(start: Point, end: Point, step: float) -> List[Point]:
+    """Waypoints from ``start`` to ``end`` every ``step`` units.
+
+    The end point is always included; the start point never is.  Used by
+    the mobility controller to advance a moving node in discrete hops so
+    that connectivity is re-evaluated along the whole path, not only at
+    the destination.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    points: List[Point] = []
+    current = start
+    while current != end:
+        current = current.towards(end, step)
+        points.append(current)
+    return points
+
+
+def grid_positions(count: int, spacing: float, columns: int = 0) -> List[Point]:
+    """Lay out ``count`` points on a grid with the given spacing.
+
+    With ``columns == 0`` the grid is (near-)square.  Handy for building
+    topologies with a known maximum degree.
+    """
+    if columns <= 0:
+        columns = max(1, math.ceil(math.sqrt(count)))
+    return [
+        Point((i % columns) * spacing, (i // columns) * spacing)
+        for i in range(count)
+    ]
+
+
+def line_positions(count: int, spacing: float) -> List[Point]:
+    """Lay out ``count`` points on a line (a path graph under unit disk)."""
+    return [Point(i * spacing, 0.0) for i in range(count)]
+
+
+def ring_positions(count: int, radius: float) -> List[Point]:
+    """Lay out ``count`` points evenly on a circle."""
+    return [
+        Point(radius * math.cos(2 * math.pi * i / count),
+              radius * math.sin(2 * math.pi * i / count))
+        for i in range(count)
+    ]
+
+
+def random_positions(count: int, width: float, height: float, rng) -> List[Point]:
+    """Uniformly random points in a ``width x height`` rectangle."""
+    return [Point(rng.uniform(0, width), rng.uniform(0, height))
+            for _ in range(count)]
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """(min-corner, max-corner) of a non-empty point collection."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding_box of empty point collection")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Point(min(xs), min(ys)), Point(max(xs), max(ys))

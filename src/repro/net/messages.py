@@ -1,0 +1,33 @@
+"""Base message type shared by all protocols.
+
+Concrete protocol messages (fork requests, doorway cross/exit
+broadcasts, coloring rounds...) subclass :class:`Message` inside their
+own packages; the channel layer only cares about size accounting and a
+human-readable kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class Message:
+    """Immutable base class for protocol messages.
+
+    Subclasses add payload fields; :attr:`kind` defaults to the class
+    name which keeps traces and metric breakdowns readable without
+    per-class boilerplate.
+    """
+
+    @property
+    def kind(self) -> str:
+        """Short message type label used for tracing and accounting."""
+        return type(self).__name__
+
+    def describe(self) -> str:
+        """Compact payload rendering for traces."""
+        parts = []
+        for f in fields(self):
+            parts.append(f"{f.name}={getattr(self, f.name)!r}")
+        return f"{self.kind}({', '.join(parts)})"

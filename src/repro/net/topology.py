@@ -1,0 +1,207 @@
+"""Dynamic unit-disk topology.
+
+The communication graph is derived from node positions: two nodes are
+neighbors iff their Euclidean distance is at most the radio range.
+Moving a node produces a :class:`LinkDiff` — the set of links that came
+up and went down — which the link layer turns into LinkUp/LinkDown
+indications.
+
+The topology also answers graph-distance queries (used to *measure*
+failure locality) and degree statistics (used to report ``delta``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.net.geometry import Point
+
+Link = Tuple[int, int]
+
+
+def link_key(a: int, b: int) -> Link:
+    """Canonical (sorted) representation of an undirected link."""
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class LinkDiff:
+    """Links created and destroyed by one position update."""
+
+    added: List[Link] = field(default_factory=list)
+    removed: List[Link] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+class DynamicTopology:
+    """Node positions plus the induced unit-disk communication graph."""
+
+    def __init__(self, radio_range: float = 1.0) -> None:
+        if radio_range <= 0:
+            raise TopologyError(f"radio range must be positive, got {radio_range}")
+        self.radio_range = radio_range
+        self._positions: Dict[int, Point] = {}
+        self._adjacency: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, position: Point) -> LinkDiff:
+        """Add a node; returns the links its arrival created."""
+        if node_id in self._positions:
+            raise TopologyError(f"node {node_id} already exists")
+        self._positions[node_id] = position
+        self._adjacency[node_id] = set()
+        diff = LinkDiff()
+        for other, other_pos in self._positions.items():
+            if other == node_id:
+                continue
+            if position.distance_to(other_pos) <= self.radio_range:
+                self._adjacency[node_id].add(other)
+                self._adjacency[other].add(node_id)
+                diff.added.append(link_key(node_id, other))
+        return diff
+
+    def remove_node(self, node_id: int) -> LinkDiff:
+        """Remove a node; returns the links its departure destroyed."""
+        self._require(node_id)
+        diff = LinkDiff()
+        for other in list(self._adjacency[node_id]):
+            self._adjacency[other].discard(node_id)
+            diff.removed.append(link_key(node_id, other))
+        del self._adjacency[node_id]
+        del self._positions[node_id]
+        return diff
+
+    def nodes(self) -> List[int]:
+        """All node ids, sorted (stable iteration order for determinism)."""
+        return sorted(self._positions)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._positions
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    # ------------------------------------------------------------------
+    # Positions and movement
+    # ------------------------------------------------------------------
+    def position(self, node_id: int) -> Point:
+        """Current position of a node."""
+        self._require(node_id)
+        return self._positions[node_id]
+
+    def set_position(self, node_id: int, position: Point) -> LinkDiff:
+        """Move a node and return the induced link changes."""
+        self._require(node_id)
+        self._positions[node_id] = position
+        diff = LinkDiff()
+        current = self._adjacency[node_id]
+        for other, other_pos in self._positions.items():
+            if other == node_id:
+                continue
+            in_range = position.distance_to(other_pos) <= self.radio_range
+            if in_range and other not in current:
+                current.add(other)
+                self._adjacency[other].add(node_id)
+                diff.added.append(link_key(node_id, other))
+            elif not in_range and other in current:
+                current.discard(other)
+                self._adjacency[other].discard(node_id)
+                diff.removed.append(link_key(node_id, other))
+        return diff
+
+    # ------------------------------------------------------------------
+    # Graph queries
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: int) -> FrozenSet[int]:
+        """The current neighbor set of a node."""
+        self._require(node_id)
+        return frozenset(self._adjacency[node_id])
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True iff nodes a and b are currently neighbors."""
+        return b in self._adjacency.get(a, ())
+
+    def links(self) -> List[Link]:
+        """All current links, canonically keyed and sorted."""
+        seen: Set[Link] = set()
+        for a, nbrs in self._adjacency.items():
+            for b in nbrs:
+                seen.add(link_key(a, b))
+        return sorted(seen)
+
+    def degree(self, node_id: int) -> int:
+        """Current degree of a node."""
+        self._require(node_id)
+        return len(self._adjacency[node_id])
+
+    def max_degree(self) -> int:
+        """delta — the maximum degree over all nodes (0 if empty)."""
+        if not self._adjacency:
+            return 0
+        return max(len(nbrs) for nbrs in self._adjacency.values())
+
+    def graph_distance(self, source: int, target: int) -> Optional[int]:
+        """Hop distance between two nodes, or None if disconnected."""
+        self._require(source)
+        self._require(target)
+        if source == target:
+            return 0
+        seen = {source}
+        frontier = deque([(source, 0)])
+        while frontier:
+            node, dist = frontier.popleft()
+            for nbr in self._adjacency[node]:
+                if nbr == target:
+                    return dist + 1
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append((nbr, dist + 1))
+        return None
+
+    def distances_from(self, source: int) -> Dict[int, int]:
+        """Hop distances from ``source`` to every reachable node."""
+        self._require(source)
+        dist = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for nbr in self._adjacency[node]:
+                if nbr not in dist:
+                    dist[nbr] = dist[node] + 1
+                    frontier.append(nbr)
+        return dist
+
+    def m_neighborhood(self, node_id: int, m: int) -> Set[int]:
+        """All nodes within hop distance ``m`` of ``node_id`` (inclusive)."""
+        return {n for n, d in self.distances_from(node_id).items() if d <= m}
+
+    def is_connected(self) -> bool:
+        """True iff the communication graph is connected (or empty)."""
+        ids = self.nodes()
+        if len(ids) <= 1:
+            return True
+        return len(self.distances_from(ids[0])) == len(ids)
+
+    def components(self) -> List[Set[int]]:
+        """Connected components of the communication graph."""
+        remaining = set(self._positions)
+        result: List[Set[int]] = []
+        while remaining:
+            root = min(remaining)
+            component = set(self.distances_from(root))
+            result.append(component)
+            remaining -= component
+        return result
+
+    # ------------------------------------------------------------------
+    def _require(self, node_id: int) -> None:
+        if node_id not in self._positions:
+            raise TopologyError(f"unknown node {node_id}")

@@ -1,0 +1,80 @@
+"""Workloads: the "external application" of Section 3.2.
+
+The paper leaves hungry arrivals to an unspecified application; the
+harness provides two:
+
+* :class:`HungerWorkload` — stochastic think times (the standard
+  benchmark workload), optionally saturating (think time zero), with an
+  optional cap on critical-section entries per node;
+* :class:`ScriptedHunger` — exact hungry times per node, for scenario
+  reproductions and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.runtime.node import NodeHarness
+from repro.sim.engine import Simulator
+
+
+class HungerWorkload:
+    """Poisson-ish think/eat cycling for every attached node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng_source,
+        think_range: Tuple[float, float] = (1.0, 5.0),
+        initial_delay_range: Tuple[float, float] = (0.0, 1.0),
+        max_entries: Optional[int] = None,
+    ) -> None:
+        lo, hi = think_range
+        if not 0 <= lo <= hi:
+            raise ConfigurationError(f"bad think range {think_range}")
+        ilo, ihi = initial_delay_range
+        if not 0 <= ilo <= ihi:
+            raise ConfigurationError(
+                f"bad initial delay range {initial_delay_range}"
+            )
+        self._sim = sim
+        self._rng_source = rng_source
+        self.think_range = (lo, hi)
+        self.initial_delay_range = (ilo, ihi)
+        self.max_entries = max_entries
+        self._entries: Dict[int, int] = {}
+
+    def attach(self, harness: NodeHarness) -> None:
+        """Start driving a node (schedules its first hunger)."""
+        harness.on_done_eating = self._on_done_eating
+        rng = self._rng_source.stream("workload", harness.node_id)
+        delay = rng.uniform(*self.initial_delay_range)
+        self._sim.schedule(delay, harness.become_hungry)
+
+    def entries(self, node_id: int) -> int:
+        """Completed critical sections for one node."""
+        return self._entries.get(node_id, 0)
+
+    def _on_done_eating(self, harness: NodeHarness) -> None:
+        count = self._entries.get(harness.node_id, 0) + 1
+        self._entries[harness.node_id] = count
+        if self.max_entries is not None and count >= self.max_entries:
+            return
+        rng = self._rng_source.stream("workload", harness.node_id)
+        think = rng.uniform(*self.think_range)
+        self._sim.schedule(think, harness.become_hungry)
+
+
+class ScriptedHunger:
+    """Exact per-node hungry times (for scenario benchmarks)."""
+
+    def __init__(self, sim: Simulator, schedule: Dict[int, Iterable[float]]) -> None:
+        self._sim = sim
+        self._schedule: Dict[int, List[float]] = {
+            node: sorted(times) for node, times in schedule.items()
+        }
+
+    def attach(self, harness: NodeHarness) -> None:
+        for time in self._schedule.get(harness.node_id, []):
+            self._sim.schedule_at(time, harness.become_hungry)

@@ -1,0 +1,62 @@
+"""Crash injection.
+
+The paper's failure model: a node fails by crashing silently — it stops
+executing everything and never moves again.  Other nodes receive no
+indication (there are no failure detectors in this model; compare the
+discussion of Pike et al. in Chapter 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.net.linklayer import LinkLayer
+from repro.runtime.node import NodeHarness
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled crash."""
+
+    time: float
+    node_id: int
+
+
+class CrashInjector:
+    """Schedules silent crashes against the link layer and harnesses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        linklayer: LinkLayer,
+        harnesses: Dict[int, NodeHarness],
+    ) -> None:
+        self._sim = sim
+        self._linklayer = linklayer
+        self._harnesses = harnesses
+        self.crashes: List[CrashEvent] = []
+
+    def schedule(self, time: float, node_id: int) -> None:
+        """Crash ``node_id`` at the given virtual time."""
+        event = CrashEvent(time, node_id)
+        self.crashes.append(event)
+        self._sim.schedule_at(time, self._crash, node_id)
+
+    def schedule_all(self, plan: List[Tuple[float, int]]) -> None:
+        """Schedule a whole crash plan of (time, node_id) pairs."""
+        for time, node_id in plan:
+            self.schedule(time, node_id)
+
+    def crashed_nodes(self) -> List[int]:
+        """Node ids crashed so far (in crash order)."""
+        return [
+            e.node_id
+            for e in self.crashes
+            if self._harnesses[e.node_id].crashed
+        ]
+
+    def _crash(self, node_id: int) -> None:
+        self._linklayer.crash(node_id)
+        self._harnesses[node_id].crash()

@@ -1,0 +1,169 @@
+"""The node harness: state, timers and wiring for one node.
+
+Implements both sides of the node boundary: the
+:class:`~repro.core.base.NodeServices` the algorithm calls down into,
+and the link layer's handler contract events come up through.  Also the
+single place node state transitions happen, so the metrics collector
+and safety monitor see every change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.base import LocalMutexAlgorithm
+from repro.core.states import NodeState, check_transition
+from repro.net.linklayer import LinkLayer
+from repro.net.messages import Message
+from repro.sim.clock import TimeBounds
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+from repro.sim.trace import TraceLog
+
+
+class NodeHarness:
+    """Host for one node's algorithm instance."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        linklayer: LinkLayer,
+        bounds: TimeBounds,
+        trace: TraceLog,
+        eat_rng,
+        metrics=None,
+        safety=None,
+    ) -> None:
+        self.node_id = node_id
+        self._sim = sim
+        self._linklayer = linklayer
+        self._bounds = bounds
+        self._trace_log = trace
+        self._eat_rng = eat_rng
+        self._metrics = metrics
+        self._safety = safety
+        self._state = NodeState.THINKING
+        self._eat_timer = Timer(sim, self._finish_eating)
+        self.crashed = False
+        self.algorithm: Optional[LocalMutexAlgorithm] = None
+        #: Workload hook: called when the node finishes eating.
+        self.on_done_eating: Optional[Callable[["NodeHarness"], None]] = None
+
+    def bind(self, algorithm: LocalMutexAlgorithm) -> None:
+        """Attach the algorithm instance (exactly once, at build time)."""
+        self.algorithm = algorithm
+
+    # ------------------------------------------------------------------
+    # NodeServices (the algorithm's view)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> NodeState:
+        return self._state
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    @property
+    def trace(self) -> TraceLog:
+        return self._trace_log
+
+    def neighbors(self):
+        return self._linklayer.neighbors(self.node_id)
+
+    def send(self, dst: int, message: Message) -> None:
+        self._linklayer.send(self.node_id, dst, message)
+
+    def broadcast(self, message: Message) -> None:
+        self._linklayer.broadcast(self.node_id, message)
+
+    def start_eating(self) -> None:
+        """Algorithm grants the critical section."""
+        check_transition(self._state, NodeState.EATING)
+        self._state = NodeState.EATING
+        self._trace_log.record(self._sim.now, "cs.enter", self.node_id)
+        if self._metrics is not None:
+            self._metrics.note_eat_start(self.node_id, self._sim.now)
+        if self._safety is not None:
+            self._safety.note_eating_start(self.node_id, self._sim.now)
+        self._eat_timer.start(self._bounds.draw_eating_time(self._eat_rng))
+
+    def demote_to_hungry(self) -> None:
+        """Mobility preemption: eating -> hungry (Algorithm 3 Line 50)."""
+        check_transition(self._state, NodeState.HUNGRY)
+        self._eat_timer.cancel()
+        self._state = NodeState.HUNGRY
+        self._trace_log.record(self._sim.now, "cs.demoted", self.node_id)
+        if self._metrics is not None:
+            self._metrics.note_demotion(self.node_id, self._sim.now)
+
+    # ------------------------------------------------------------------
+    # Application-driven transitions
+    # ------------------------------------------------------------------
+    def become_hungry(self) -> None:
+        """The external application requests the critical section."""
+        if self.crashed or self._state is not NodeState.THINKING:
+            return
+        check_transition(self._state, NodeState.HUNGRY)
+        self._state = NodeState.HUNGRY
+        self._trace_log.record(self._sim.now, "app.hungry", self.node_id)
+        if self._metrics is not None:
+            self._metrics.note_hungry(self.node_id, self._sim.now)
+        assert self.algorithm is not None, "harness not bound to an algorithm"
+        self.algorithm.on_hungry()
+
+    def _finish_eating(self) -> None:
+        if self.crashed:
+            return
+        assert self.algorithm is not None
+        # The exit code (Line 5 "when state is set to thinking") runs as
+        # part of leaving the critical section.
+        self.algorithm.on_exit_cs()
+        check_transition(self._state, NodeState.THINKING)
+        self._state = NodeState.THINKING
+        self._trace_log.record(self._sim.now, "cs.exit", self.node_id)
+        if self._metrics is not None:
+            self._metrics.note_think(self.node_id, self._sim.now)
+        if self.on_done_eating is not None:
+            self.on_done_eating(self)
+
+    # ------------------------------------------------------------------
+    # Link-layer handler contract
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, message: Message) -> None:
+        if self.crashed:
+            return
+        assert self.algorithm is not None
+        self.algorithm.on_message(src, message)
+
+    def on_link_up(self, peer: int, moving: bool) -> None:
+        if self.crashed:
+            return
+        assert self.algorithm is not None
+        self.algorithm.on_link_up(peer, moving)
+
+    def on_link_down(self, peer: int) -> None:
+        if self.crashed:
+            return
+        assert self.algorithm is not None
+        self.algorithm.on_link_down(peer)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Silently stop: no further timers, messages or transitions."""
+        self.crashed = True
+        self._eat_timer.cancel()
+        self._trace_log.record(self._sim.now, "node.crashed", self.node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NodeHarness {self.node_id} {self._state.value}"
+            f"{' CRASHED' if self.crashed else ''}>"
+        )

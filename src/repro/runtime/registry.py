@@ -1,0 +1,157 @@
+"""Algorithm registry: protocol names -> node-algorithm factories.
+
+The simulation builder resolves a config's ``algorithm`` string here.
+Factories receive a :class:`BuildContext` (network-wide facts decided
+at build time: n, delta, optional initial coloring, the shared oracle)
+and return a per-node constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.baselines.centralized import CentralizedOracle, OracleScheduler
+from repro.baselines.chandy_misra import ChandyMisra
+from repro.baselines.choy_singh import ChoySingh, legal_coloring
+from repro.baselines.ordered_ids import OrderedIds
+from repro.core.algorithm1 import Algorithm1
+from repro.core.algorithm2 import Algorithm2
+from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.coloring.greedy import GreedyColoring
+from repro.core.coloring.linial import LinialColoring
+from repro.errors import ConfigurationError
+from repro.net.topology import DynamicTopology
+
+
+@dataclass
+class BuildContext:
+    """Facts a factory may need, fixed at build time."""
+
+    topology: DynamicTopology
+    n: int
+    delta: int
+    initial_colors: Optional[Dict[int, int]] = None
+    oracle: Optional[OracleScheduler] = None
+    #: Shared random stream for randomized protocol components.
+    rng: object = None
+
+
+NodeFactory = Callable[[NodeServices], LocalMutexAlgorithm]
+RegistryEntry = Callable[[BuildContext], NodeFactory]
+
+
+def _alg1_greedy(ctx: BuildContext) -> NodeFactory:
+    coloring = GreedyColoring()
+    return lambda node: Algorithm1(node, coloring, ctx.initial_colors)
+
+
+def _alg1_linial(ctx: BuildContext) -> NodeFactory:
+    coloring = LinialColoring(id_space=max(ctx.n, 1), delta=max(ctx.delta, 1))
+    return lambda node: Algorithm1(node, coloring, ctx.initial_colors)
+
+
+def _alg1_random(ctx: BuildContext) -> NodeFactory:
+    import random
+
+    from repro.core.coloring.randomized import RandomizedColoring
+
+    rng = ctx.rng if ctx.rng is not None else random.Random(0)
+    coloring = RandomizedColoring(delta=max(ctx.delta, 1), rng=rng)
+    return lambda node: Algorithm1(node, coloring, ctx.initial_colors)
+
+
+def _alg2(ctx: BuildContext) -> NodeFactory:
+    return Algorithm2
+
+
+def _chandy_misra(ctx: BuildContext) -> NodeFactory:
+    return ChandyMisra
+
+
+def _ordered_ids(ctx: BuildContext) -> NodeFactory:
+    return OrderedIds
+
+
+def _choy_singh(ctx: BuildContext) -> NodeFactory:
+    colors = ctx.initial_colors or legal_coloring(ctx.topology)
+    return lambda node: ChoySingh(node, colors)
+
+
+def _alg2_nonotify(ctx: BuildContext) -> NodeFactory:
+    from repro.core.ablations import Algorithm2NoNotify
+
+    return Algorithm2NoNotify
+
+
+def _alg1_noreturn(ctx: BuildContext) -> NodeFactory:
+    from repro.core.ablations import Algorithm1NoReturnPath
+
+    coloring = GreedyColoring()
+    return lambda node: Algorithm1NoReturnPath(
+        node, coloring, ctx.initial_colors
+    )
+
+
+def _alg1_nodoorway(ctx: BuildContext) -> NodeFactory:
+    from repro.core.ablations import Algorithm1NoDoorways
+
+    colors = ctx.initial_colors or legal_coloring(ctx.topology)
+    return lambda node: Algorithm1NoDoorways(node, colors)
+
+
+def _alg1_selforg(ctx: BuildContext) -> NodeFactory:
+    from repro.core.ablations import Algorithm1SelfOrganizing
+
+    coloring = GreedyColoring()
+    return lambda node: Algorithm1SelfOrganizing(
+        node, coloring, ctx.initial_colors
+    )
+
+
+def _oracle(ctx: BuildContext) -> NodeFactory:
+    if ctx.oracle is None:
+        ctx.oracle = OracleScheduler(ctx.topology)
+    scheduler = ctx.oracle
+    return lambda node: CentralizedOracle(node, scheduler)
+
+
+def _global_oracle(ctx: BuildContext) -> NodeFactory:
+    scheduler = OracleScheduler(ctx.topology, global_exclusion=True)
+    return lambda node: CentralizedOracle(node, scheduler)
+
+
+def _token_mutex(ctx: BuildContext) -> NodeFactory:
+    from repro.baselines.token_mutex import RaymondToken, spanning_tree
+
+    parents = spanning_tree(ctx.topology)
+    return lambda node: RaymondToken(node, parents)
+
+
+ALGORITHMS: Dict[str, RegistryEntry] = {
+    "alg1-greedy": _alg1_greedy,
+    "alg1-linial": _alg1_linial,
+    "alg1-random": _alg1_random,
+    "alg2": _alg2,
+    "chandy-misra": _chandy_misra,
+    "ordered-ids": _ordered_ids,
+    "choy-singh": _choy_singh,
+    "oracle": _oracle,
+    "global-oracle": _global_oracle,
+    "token-mutex": _token_mutex,
+    # Ablations and extensions (see repro.core.ablations).
+    "alg2-nonotify": _alg2_nonotify,
+    "alg1-noreturn": _alg1_noreturn,
+    "alg1-nodoorway": _alg1_nodoorway,
+    "alg1-selforg": _alg1_selforg,
+}
+
+
+def resolve(name: str, ctx: BuildContext) -> NodeFactory:
+    """Resolve an algorithm name to a per-node factory."""
+    entry = ALGORITHMS.get(name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        )
+    return entry(ctx)

@@ -1,0 +1,259 @@
+"""One-call simulation assembly and execution.
+
+:class:`ScenarioConfig` describes an experiment declaratively;
+:class:`Simulation` builds the full stack — simulator, topology,
+channels, link layer, mobility, node harnesses, algorithm instances,
+workload, crash injector, metrics, safety monitor — wires everything,
+and runs it.  This is the facade the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.locality import LocalityReport, measure_failure_locality
+from repro.metrics.safety import SafetyMonitor
+from repro.mobility.base import MobilityController, MobilityModel
+from repro.net.channel import ChannelLayer
+from repro.net.geometry import Point
+from repro.net.linklayer import LinkLayer
+from repro.net.topology import DynamicTopology
+from repro.runtime.app import HungerWorkload, ScriptedHunger
+from repro.runtime.failures import CrashInjector
+from repro.runtime.node import NodeHarness
+from repro.runtime.registry import BuildContext, resolve
+from repro.sim.clock import TimeBounds
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class ScenarioConfig:
+    """Declarative description of one simulation run."""
+
+    #: Node positions; node ids are the list indices.
+    positions: Sequence[Point]
+    radio_range: float = 1.0
+    #: Registry name (alg1-greedy, alg1-linial, alg2, chandy-misra,
+    #: ordered-ids, choy-singh, oracle) or a registry-style callable
+    #: taking a :class:`~repro.runtime.registry.BuildContext` and
+    #: returning a per-node factory.
+    algorithm: object = "alg2"
+    seed: int = 0
+    bounds: TimeBounds = field(default_factory=TimeBounds)
+    # Workload (stochastic unless a script is given).
+    think_range: Tuple[float, float] = (1.0, 5.0)
+    initial_delay_range: Tuple[float, float] = (0.0, 1.0)
+    max_entries: Optional[int] = None
+    scripted_hunger: Optional[Dict[int, List[float]]] = None
+    #: Per-node mobility model factory (node_id -> model or None).
+    mobility_factory: Optional[Callable[[int], Optional[MobilityModel]]] = None
+    mobility_step: float = 0.25
+    #: Crash plan: (time, node_id) pairs.
+    crashes: List[Tuple[float, int]] = field(default_factory=list)
+    trace: bool = False
+    strict_safety: bool = True
+    #: Optional pre-assigned legal coloring (alg1 variants / choy-singh).
+    initial_colors: Optional[Dict[int, int]] = None
+    #: Override the delta the Linial procedure is built for (mobile runs
+    #: where degrees can exceed the initial maximum).
+    delta_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ConfigurationError("scenario needs at least one node")
+
+
+@dataclass
+class SimulationResult:
+    """What a finished (or paused) run exposes."""
+
+    config: ScenarioConfig
+    duration: float
+    metrics: MetricsCollector
+    messages_sent: int
+    messages_by_kind: Dict[str, int]
+    starved: List[int]
+    cs_entries: int
+
+    @property
+    def response_times(self) -> List[float]:
+        return self.metrics.response_times()
+
+    def messages_per_cs(self) -> Optional[float]:
+        if self.cs_entries == 0:
+            return None
+        return self.messages_sent / self.cs_entries
+
+
+class Simulation:
+    """A fully wired simulation instance."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RandomSource(config.seed)
+        self.trace = TraceLog(enabled=config.trace)
+        self.bounds = config.bounds
+
+        # --- network substrate -------------------------------------
+        self.topology = DynamicTopology(radio_range=config.radio_range)
+        for node_id, position in enumerate(config.positions):
+            self.topology.add_node(node_id, position)
+        self.linklayer = LinkLayer(self.sim, self.topology, trace=self.trace)
+        self.channel = ChannelLayer(
+            self.sim,
+            self.topology,
+            self.bounds,
+            self.rng.stream("channel"),
+            deliver=self.linklayer.deliver,
+            trace=self.trace,
+        )
+        self.linklayer.bind_channel(self.channel)
+
+        # --- metrics & monitors -------------------------------------
+        self.metrics = MetricsCollector()
+        self.harnesses: Dict[int, NodeHarness] = {}
+        self.safety = SafetyMonitor(
+            self.topology, self.harnesses, strict=config.strict_safety
+        )
+        self.linklayer.observers.append(
+            lambda kind, a, b: self.safety.on_link_event(kind, a, b, self.sim.now)
+        )
+
+        # --- nodes and algorithms -----------------------------------
+        n = len(config.positions)
+        delta = config.delta_override or max(1, self.topology.max_degree())
+        self.context = BuildContext(
+            topology=self.topology,
+            n=n,
+            delta=delta,
+            initial_colors=config.initial_colors,
+            rng=self.rng.stream("coloring"),
+        )
+        if callable(config.algorithm):
+            factory = config.algorithm(self.context)
+        else:
+            factory = resolve(config.algorithm, self.context)
+        for node_id in range(n):
+            harness = NodeHarness(
+                node_id,
+                self.sim,
+                self.linklayer,
+                self.bounds,
+                self.trace,
+                eat_rng=self.rng.stream("eating", node_id),
+                metrics=self.metrics,
+                safety=self.safety,
+            )
+            harness.bind(factory(harness))
+            self.harnesses[node_id] = harness
+            self.linklayer.register(node_id, harness)
+        # Initial per-link protocol state (forks, priorities, colors).
+        for a, b in self.topology.links():
+            self.harnesses[a].algorithm.bootstrap_peer(b)
+            self.harnesses[b].algorithm.bootstrap_peer(a)
+
+        # --- workload ------------------------------------------------
+        if config.scripted_hunger is not None:
+            self.workload = ScriptedHunger(self.sim, config.scripted_hunger)
+        else:
+            self.workload = HungerWorkload(
+                self.sim,
+                self.rng,
+                think_range=config.think_range,
+                initial_delay_range=config.initial_delay_range,
+                max_entries=config.max_entries,
+            )
+        for harness in self.harnesses.values():
+            self.workload.attach(harness)
+
+        # --- mobility --------------------------------------------------
+        self.mobility = MobilityController(
+            self.sim,
+            self.topology,
+            self.linklayer,
+            self.rng,
+            step_length=config.mobility_step,
+            trace=self.trace,
+        )
+        if config.mobility_factory is not None:
+            for node_id in range(n):
+                model = config.mobility_factory(node_id)
+                if model is not None:
+                    self.mobility.attach(node_id, model)
+            self.mobility.start()
+
+        # --- failures --------------------------------------------------
+        self.failures = CrashInjector(self.sim, self.linklayer, self.harnesses)
+        self.failures.schedule_all(config.crashes)
+
+    # ------------------------------------------------------------------
+    def algorithm_of(self, node_id: int):
+        """The algorithm instance running on one node."""
+        return self.harnesses[node_id].algorithm
+
+    def run(
+        self,
+        until: float,
+        max_events: Optional[int] = None,
+        starvation_threshold: Optional[float] = None,
+    ) -> SimulationResult:
+        """Run up to virtual time ``until`` and summarize.
+
+        ``starvation_threshold`` classifies still-hungry nodes as
+        starved in the result (default: 20% of the run length).
+        """
+        self.sim.run(until=until, max_events=max_events)
+        threshold = (
+            starvation_threshold
+            if starvation_threshold is not None
+            else 0.2 * until
+        )
+        return SimulationResult(
+            config=self.config,
+            duration=self.sim.now,
+            metrics=self.metrics,
+            messages_sent=self.channel.stats.sent,
+            messages_by_kind=self.channel.stats.snapshot(),
+            starved=self.metrics.starving(self.sim.now, threshold),
+            cs_entries=self.metrics.total_cs_entries(),
+        )
+
+    # ------------------------------------------------------------------
+    def locality_report(self, patience: Optional[float] = None) -> LocalityReport:
+        """Failure-locality probe over this run (experiment E3).
+
+        A node counts as *starved* when, at the end of the run, its
+        current hungry interval has lasted longer than ``patience``
+        (default: a quarter of the elapsed run).  A genuinely starved
+        node stays hungry forever, so any sufficiently long run
+        classifies it correctly; nodes that merely happen to be hungry
+        at the final instant do not.
+        """
+        crash_times = [e.time for e in self.failures.crashes]
+        if not crash_times:
+            raise ConfigurationError("locality report needs a crash plan")
+        first_crash = min(crash_times)
+        if patience is None:
+            patience = 0.25 * max(self.sim.now - first_crash, 1e-9)
+        starved = set(self.metrics.starving(self.sim.now, patience))
+        hungry_after = {
+            s.node for s in self.metrics.samples if s.eating_at >= first_crash
+        }
+        hungry_after |= set(self.metrics.hungry_nodes())
+        return measure_failure_locality(
+            self.topology,
+            crashed=[e.node_id for e in self.failures.crashes],
+            hungry_after_crash=hungry_after,
+            ate_after_crash=hungry_after - starved,
+        )
+
+
+def run_simulation(config: ScenarioConfig, until: float) -> SimulationResult:
+    """Convenience: build and run a scenario in one call."""
+    return Simulation(config).run(until=until)

@@ -1,0 +1,167 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns a heap of :class:`ScheduledEvent` objects and
+executes them in ``(time, priority, insertion order)`` order.  Everything
+else in the library — message delivery, mobility steps, application
+hunger, crash injection, monitoring — is expressed as events scheduled on
+one shared simulator instance.
+
+Design notes
+------------
+
+* **Determinism.**  The engine itself is fully deterministic; all
+  randomness enters through :class:`repro.sim.rng.RandomSource`
+  substreams, so a (seed, config) pair reproduces a run bit-for-bit.
+* **Reentrancy.**  Callbacks may schedule and cancel further events, but
+  may not call :meth:`run` recursively.
+* **Listeners.**  Observers (the safety monitor, metric collectors) can
+  register post-event listeners; they fire after each executed event with
+  the engine as argument.  Using listeners rather than wrapping every
+  callback keeps protocol code free of instrumentation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventPriority, ScheduledEvent
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._executed_events = 0
+        self._listeners: List[Callable[["Simulator"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._executed_events
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled shells)."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: EventPriority = EventPriority.NORMAL,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: EventPriority = EventPriority.NORMAL,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        event = ScheduledEvent(time, priority, next(self._seq), callback, tuple(args))
+        heapq.heappush(self._heap, event)
+        return event
+
+    def add_listener(self, listener: Callable[["Simulator"], None]) -> None:
+        """Register a post-event observer (runs after every executed event)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[["Simulator"], None]) -> None:
+        """Unregister a previously added observer."""
+        self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Execute events until quiescence, a deadline, or an event budget.
+
+        Args:
+            until: stop once the next event would be strictly later than
+                this time; the clock is advanced to ``until``.
+            max_events: stop after executing this many events (a safety
+                valve against accidental livelock in tests).
+
+        Returns:
+            The virtual time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed_this_call = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and executed_this_call >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                event.cancelled = True  # mark fired; cancel() stays a no-op
+                self._executed_events += 1
+                executed_this_call += 1
+                for listener in self._listeners:
+                    listener(self)
+            else:
+                # Queue drained; advance to the deadline if one was given.
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_quiet(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={self._now:.6f} pending={self.pending_events} "
+            f"executed={self._executed_events}>"
+        )

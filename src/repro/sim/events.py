@@ -1,0 +1,76 @@
+"""Scheduled events and their ordering.
+
+Events at the same virtual time are ordered by an explicit priority class
+and then by insertion order.  Priority classes let the harness guarantee,
+for example, that the safety monitor observes the state *after* all
+protocol handlers scheduled for that instant have run.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Tuple
+
+
+class EventPriority(enum.IntEnum):
+    """Tie-breaking classes for events sharing a timestamp.
+
+    Lower values run first.
+    """
+
+    #: Topology changes (LinkUp/LinkDown indications, mobility steps).
+    TOPOLOGY = 0
+    #: Ordinary protocol events: message deliveries, timers, app events.
+    NORMAL = 10
+    #: Observers that must see the post-state of an instant (monitors).
+    MONITOR = 20
+
+
+class ScheduledEvent:
+    """A cancellable handle to one scheduled callback.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`;
+    user code only ever cancels them or inspects :attr:`time`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: EventPriority,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.
+
+        Cancelling an already-fired or already-cancelled event is a
+        harmless no-op, which keeps timer-management code simple.
+        """
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled."""
+        return not self.cancelled
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Total order used by the engine's heap."""
+        return (self.time, int(self.priority), self.seq)
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} {name} {state}>"

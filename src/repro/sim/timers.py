@@ -1,0 +1,60 @@
+"""Restartable one-shot timers on top of the event engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority, ScheduledEvent
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and cancelled freely.
+
+    Protocol code frequently needs "fire X after d unless something else
+    happens first"; wrapping the schedule/cancel pair avoids dangling
+    event handles scattered through algorithm state.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: EventPriority = EventPriority.NORMAL,
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._priority = priority
+        self._event: Optional[ScheduledEvent] = None
+
+    @property
+    def pending(self) -> bool:
+        """True if the timer is armed and has not yet fired."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute fire time while armed, else None."""
+        if self.pending:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer; restarts (and supersedes) any pending deadline."""
+        self.cancel()
+        self._event = self._sim.schedule(
+            delay, self._fire, priority=self._priority
+        )
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback(*self._args)

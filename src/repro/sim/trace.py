@@ -1,0 +1,98 @@
+"""Structured trace log for simulation runs.
+
+Traces serve three purposes: debugging protocol state machines,
+asserting fine-grained event orderings in tests (e.g. "p2 took the
+return path before p1 requested its fork"), and producing the per-stage
+latency breakdown for the Figure 5 benchmark.
+
+A trace record is a small immutable tuple of (time, category, node,
+detail dict).  Recording can be disabled wholesale (the default for
+benchmarks) at near-zero cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    node: Optional[int]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        who = f"p{self.node}" if self.node is not None else "-"
+        info = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.4f}] {who:>6} {self.category:<24} {info}"
+
+
+class TraceLog:
+    """An append-only, filterable event trace."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._records: List[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        node: Optional[int] = None,
+        **detail: Any,
+    ) -> None:
+        """Append one record (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, category, node, detail))
+        if self._capacity is not None and len(self._records) > self._capacity:
+            # Drop the oldest half in one slice to amortize the cost.
+            del self._records[: len(self._records) // 2]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all given filters, in time order."""
+        result = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            result.append(rec)
+        return result
+
+    def first(self, category: str, node: Optional[int] = None) -> Optional[TraceRecord]:
+        """First record in a category (optionally for one node), or None."""
+        matches = self.select(category=category, node=node)
+        return matches[0] if matches else None
+
+    def last(self, category: str, node: Optional[int] = None) -> Optional[TraceRecord]:
+        """Last record in a category (optionally for one node), or None."""
+        matches = self.select(category=category, node=node)
+        return matches[-1] if matches else None
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace (for debugging)."""
+        records = self._records if limit is None else self._records[-limit:]
+        return "\n".join(str(rec) for rec in records)

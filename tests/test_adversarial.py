@@ -1,0 +1,214 @@
+"""Adversarial regression tests: crafted races and failure schedules.
+
+Each test encodes one scenario that stressed the implementation during
+development or that the paper's proofs single out.  Deterministic
+message delays (``min_delay_fraction=1.0``) make the schedules exact.
+"""
+
+import pytest
+
+from repro.core.doorway import FORK_SYNC, RECOLOR_SYNC
+from repro.core.states import NodeState
+from repro.mobility import ScriptedMobility, ScriptedMove
+from repro.net.geometry import Point, line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation
+from repro.sim.clock import TimeBounds
+
+from helpers import assert_fork_uniqueness
+
+DETERMINISTIC = TimeBounds(nu=0.5, tau=1.0, min_delay_fraction=1.0)
+
+
+def test_fork_bounce_terminates():
+    """The want-back flag must not ping-pong a fork forever.
+
+    Two neighbors with adjacent priorities hammer the CS; every grant
+    to the lower-priority node carries the want-back flag.  The run
+    completing with both nodes eating repeatedly proves the bounce
+    terminates (the paper's argument: only lower-priority senders set
+    the flag).
+    """
+    config = ScenarioConfig(
+        positions=line_positions(2, spacing=1.0),
+        algorithm="alg1-greedy",
+        seed=2,
+        think_range=(0.0, 0.1),
+        bounds=DETERMINISTIC,
+        initial_colors={0: 0, 1: 1},
+    )
+    sim = Simulation(config)
+    result = sim.run(until=200.0)
+    assert result.metrics.counters[0].cs_entries > 20
+    assert result.metrics.counters[1].cs_entries > 20
+    # Bounded traffic per CS entry (no runaway bounce).
+    assert result.messages_per_cs() < 30
+
+
+def test_simultaneous_recoloring_of_neighbors():
+    """Two adjacent movers recolor concurrently and must diverge.
+
+    Both become hungry at the same instant with no colors; with
+    deterministic delays they cross SDr together and run a joint
+    greedy session (Lemma 14's case).
+    """
+    config = ScenarioConfig(
+        positions=line_positions(2, spacing=1.0),
+        algorithm="alg1-greedy",
+        seed=2,
+        bounds=DETERMINISTIC,
+        scripted_hunger={0: [1.0, 20.0], 1: [1.0, 20.0]},
+    )
+    sim = Simulation(config)
+    sim.run(until=15.0)
+    a0 = sim.algorithm_of(0)
+    a1 = sim.algorithm_of(1)
+    assert a0.my_color is not None and a1.my_color is not None
+    assert a0.my_color != a1.my_color
+    sim.run(until=60.0)
+    assert sim.metrics.counters[0].cs_entries >= 1
+    assert sim.metrics.counters[1].cs_entries >= 1
+
+
+def test_crash_during_recoloring_stalls_participants():
+    """The greedy coloring's failure-locality cascade (Section 5.4.2).
+
+    The paper: "all nodes ... start running the recoloring
+    simultaneously, and one of them fails in the first iteration ...
+    all nodes at distance 1 will be blocked in their first iteration".
+    We crash a mid-line node the moment everyone starts recoloring and
+    assert its *recoloring partners* never finish while far nodes the
+    crash cannot reach via the flood do.
+    """
+    n = 5
+    config = ScenarioConfig(
+        positions=line_positions(n, spacing=1.0),
+        algorithm="alg1-greedy",
+        seed=3,
+        bounds=DETERMINISTIC,
+        scripted_hunger={i: [1.0] for i in range(n)},
+        crashes=[(1.2, 2)],  # node 2 dies inside its first exchange
+    )
+    sim = Simulation(config)
+    sim.run(until=300.0)
+    # Nodes 1 and 3 were exchanging graphs with the dead node: stalled
+    # (never colored, never ate) — the O(n) locality of Theorem 16.
+    for node in (1, 3):
+        alg = sim.algorithm_of(node)
+        stalled = (
+            sim.harnesses[node].state is NodeState.HUNGRY
+            and sim.metrics.counters[node].cs_entries == 0
+        )
+        assert stalled, f"node {node} should be stalled by the crash"
+
+
+def test_mover_aborts_recoloring_cleanly():
+    """A node that moves mid-recoloring abandons the session and
+    restarts; its former partner completes alone."""
+    # Nodes 0,1 adjacent; node 2 far away.  0 and 1 recolor together;
+    # node 1 teleports away mid-session.
+    positions = [Point(0, 0), Point(1, 0), Point(10, 0)]
+    config = ScenarioConfig(
+        positions=positions,
+        algorithm="alg1-greedy",
+        seed=4,
+        bounds=DETERMINISTIC,
+        scripted_hunger={0: [1.0, 30.0], 1: [1.0, 30.0]},
+        mobility_factory=lambda i: (
+            ScriptedMobility([ScriptedMove(1.4, Point(9.5, 0.0))])
+            if i == 1
+            else None
+        ),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=100.0)
+    # Node 0 completed recoloring despite the partner's departure.
+    assert sim.algorithm_of(0).my_color is not None
+    assert sim.metrics.counters[0].cs_entries >= 1
+    # Node 1 ended next to node 2 and, once hungry again, recolored and ate.
+    assert sim.topology.has_link(1, 2)
+    assert sim.metrics.counters[1].cs_entries >= 1
+    assert_fork_uniqueness(sim)
+
+
+def test_fork_destroyed_in_flight_no_deadlock():
+    """A fork in transit when its link dies is destroyed with the link;
+    the re-formed link carries a fresh fork and both sides proceed."""
+    positions = [Point(0, 0), Point(1, 0)]
+    config = ScenarioConfig(
+        positions=positions,
+        algorithm="alg2",
+        seed=5,
+        bounds=DETERMINISTIC,
+        think_range=(0.0, 0.2),
+        mobility_factory=lambda i: (
+            ScriptedMobility([
+                ScriptedMove(10.0, Point(5.0, 0.0), speed=4.0),
+                ScriptedMove(20.0, Point(1.0, 0.0), speed=4.0),
+            ])
+            if i == 1
+            else None
+        ),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=120.0)
+    assert sim.topology.has_link(0, 1)
+    # Both keep eating after the break/re-form cycle.
+    post = [s for s in result.metrics.samples if s.eating_at > 25.0]
+    assert {s.node for s in post} == {0, 1}
+    assert_fork_uniqueness(sim)
+
+
+def test_rapid_demotion_cycle_stays_safe():
+    """A node that keeps diving into a busy clique gets demoted over
+    and over; safety holds and the static nodes keep progressing."""
+    positions = [Point(0, 0), Point(1, 0), Point(0.5, 0.9), Point(8.0, 0.0)]
+    moves = []
+    for k in range(6):
+        moves.append(ScriptedMove(10.0 + 12 * k, Point(0.5, 0.4), speed=3.0))
+        moves.append(ScriptedMove(16.0 + 12 * k, Point(8.0, 0.0), speed=3.0))
+    config = ScenarioConfig(
+        positions=positions,
+        algorithm="alg2",
+        seed=6,
+        think_range=(0.0, 0.3),
+        mobility_factory=lambda i: ScriptedMobility(moves) if i == 3 else None,
+    )
+    sim = Simulation(config)
+    result = sim.run(until=120.0)
+    for node in (0, 1, 2):
+        assert result.metrics.counters[node].cs_entries > 10
+    assert_fork_uniqueness(sim)
+
+
+def test_double_doorway_discipline_under_churn():
+    """Invariant probe: a node is never behind SDf and SDr at once
+    unless transiting the Figure 5 interleave (behind SDr implies not
+    yet exited the recolor doorways)."""
+    config = ScenarioConfig(
+        positions=line_positions(4, spacing=1.0),
+        algorithm="alg1-greedy",
+        seed=7,
+        think_range=(0.2, 0.8),
+        mobility_factory=lambda i: (
+            ScriptedMobility([
+                ScriptedMove(30.0, Point(1.5, 0.9)),
+                ScriptedMove(60.0, Point(3.0, 0.0)),
+            ])
+            if i == 0
+            else None
+        ),
+    )
+    sim = Simulation(config)
+    seen_states = []
+
+    def probe(engine):
+        for node in range(4):
+            alg = sim.algorithm_of(node)
+            if alg.doorways.is_behind(FORK_SYNC) and alg.doorways.is_behind(
+                RECOLOR_SYNC
+            ):
+                seen_states.append(node)  # pragma: no cover - violation
+
+    sim.sim.add_listener(probe)
+    sim.run(until=100.0)
+    assert seen_states == [], "SDf and SDr must never overlap"

@@ -1,0 +1,238 @@
+"""Tests for Algorithm 1 (Chapter 5): pipeline, recoloring, return path."""
+
+import pytest
+
+from repro.core.algorithm1 import Algorithm1
+from repro.core.coloring.greedy import GreedyColoring
+from repro.core.doorway import FORK_ASYNC, FORK_SYNC, RECOLOR_ASYNC
+from repro.core.messages import Hello, UpdateColor
+from repro.core.states import NodeState
+from repro.mobility import ScriptedMobility, ScriptedMove
+from repro.net.geometry import Point, line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+from helpers import FakeNode, Lemma4Checker, assert_fork_uniqueness
+
+
+# ----------------------------------------------------------------------
+# Unit level
+# ----------------------------------------------------------------------
+
+
+def build_unit(node_id=1, neighbors=(0, 2), colors=None):
+    node = FakeNode(node_id, neighbors)
+    algorithm = Algorithm1(node, GreedyColoring(), initial_colors=colors)
+    for peer in neighbors:
+        algorithm.bootstrap_peer(peer)
+    return node, algorithm
+
+
+def test_uncolored_node_enters_recolor_pipeline():
+    node, alg = build_unit()
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    # With no initial color, the node heads for the recoloring doorway.
+    assert alg.doorways.is_behind(RECOLOR_ASYNC) or alg.doorways.is_waiting(
+        RECOLOR_ASYNC
+    )
+
+
+def test_precolored_node_goes_straight_to_fork_doorways():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    assert alg.doorways.is_behind(FORK_ASYNC)
+    assert alg.doorways.is_behind(FORK_SYNC)  # all neighbors outside
+
+
+def test_is_low_ordering_and_unknown_colors():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    assert alg.is_low(0) is True
+    assert alg.is_low(2) is False
+    alg.colors[2] = None
+    assert alg.is_low(2) is False  # unknown colors rank high
+
+
+def test_exit_cs_picks_smallest_free_color_and_exits():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    node.set_state(NodeState.EATING)
+    node.clear()
+    alg.on_exit_cs()
+    assert alg.my_color == 1  # smallest not in {0, 2}
+    assert any(isinstance(m, UpdateColor) for m in node.broadcasts)
+    assert not alg.doorways.is_behind(FORK_SYNC)
+    assert not alg.doorways.is_behind(FORK_ASYNC)
+
+
+def test_mover_resets_and_waits_for_hello():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    node.set_neighbors((0, 2, 7))
+    alg.on_link_up(7, moving=True)
+    assert alg.needs_recolor
+    assert 7 in alg.pending_hellos
+    assert not alg.doorways.is_behind(FORK_SYNC)
+    assert not alg.forks.holds(7)  # the static side owns the new fork
+    # The Hello releases the node into the recoloring pipeline.
+    alg.on_message(7, Hello(4, frozenset()))
+    assert alg.pending_hellos == set()
+    assert alg.colors[7] == 4
+    assert alg.doorways.is_behind(RECOLOR_ASYNC) or alg.doorways.is_waiting(
+        RECOLOR_ASYNC
+    )
+
+
+def test_static_node_sends_hello_to_newcomer():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    node.set_neighbors((0, 2, 9))
+    alg.on_link_up(9, moving=False)
+    hellos = [m for d, m in node.sent if d == 9 and isinstance(m, Hello)]
+    assert len(hellos) == 1
+    assert hellos[0].color == 1
+    assert alg.forks.holds(9)  # static side owns the fork
+
+
+def test_eating_mover_demotes():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    node.set_state(NodeState.EATING)
+    node.set_neighbors((0, 2, 9))
+    alg.on_link_up(9, moving=True)
+    assert node.demote_calls == 1
+
+
+def test_return_path_taken_when_low_neighbor_leaves_with_fork():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    assert alg.doorways.is_behind(FORK_SYNC)
+    # Neighbor 0 is low (color 0) and holds the shared fork (id 0 < 1).
+    assert not alg.forks.holds(0)
+    node.set_neighbors((2,))
+    alg.on_link_down(0)
+    assert alg.return_paths_taken == 1
+    # Re-entered SDf immediately (all neighbors outside in this fake).
+    assert alg.doorways.is_behind(FORK_SYNC)
+
+
+def test_no_return_path_when_we_hold_the_fork():
+    colors = {0: 0, 1: 1, 2: 2}
+    node, alg = build_unit(colors=colors)
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    # Neighbor 2 is high and we hold its fork (id 1 < 2).
+    assert alg.forks.holds(2)
+    node.set_neighbors((0,))
+    alg.on_link_down(2)
+    assert alg.return_paths_taken == 0
+
+
+# ----------------------------------------------------------------------
+# Integration
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["alg1-greedy", "alg1-linial"])
+def test_static_line_progress(algorithm):
+    config = ScenarioConfig(
+        positions=line_positions(7, spacing=1.0),
+        algorithm=algorithm,
+        seed=4,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=250.0)
+    assert result.starved == []
+    for node in range(7):
+        assert result.metrics.counters[node].cs_entries >= 5
+    assert_fork_uniqueness(sim)
+
+
+def test_lemma4_colors_distinct_behind_sdf():
+    config = ScenarioConfig(
+        positions=line_positions(6, spacing=1.0),
+        algorithm="alg1-greedy",
+        seed=6,
+        think_range=(0.2, 1.0),
+    )
+    sim = Simulation(config)
+    checker = Lemma4Checker(sim)
+    sim.run(until=150.0)
+    assert checker.checks > 1000
+
+
+def test_mobile_node_recolors_and_reintegrates():
+    # Node 4 starts isolated, joins the line at t=30, must recolor.
+    positions = line_positions(4, spacing=1.0) + [Point(50.0, 50.0)]
+    config = ScenarioConfig(
+        positions=positions,
+        algorithm="alg1-greedy",
+        seed=2,
+        think_range=(0.5, 2.0),
+        mobility_factory=lambda i: (
+            ScriptedMobility([ScriptedMove(30.0, Point(1.5, 0.8))])
+            if i == 4
+            else None
+        ),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=300.0)
+    assert result.starved == []
+    mover = sim.algorithm_of(4)
+    assert mover.recolor_runs >= 1
+    # The mover ate after joining the dense neighborhood.
+    post_join = [
+        s for s in result.metrics.samples if s.node == 4 and s.eating_at > 30.0
+    ]
+    assert post_join
+    assert_fork_uniqueness(sim)
+
+
+def test_grid_with_mixed_mobility_no_starvation():
+    from repro.mobility import RandomWaypoint
+    from repro.net.geometry import grid_positions
+
+    config = ScenarioConfig(
+        positions=grid_positions(9, 1.0),
+        radio_range=1.2,
+        algorithm="alg1-greedy",
+        seed=13,
+        think_range=(0.5, 2.0),
+        mobility_factory=lambda i: (
+            RandomWaypoint(3.0, 3.0, speed_range=(0.5, 1.0),
+                           pause_range=(8.0, 20.0))
+            if i in (0, 4)
+            else None
+        ),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=300.0)
+    # Everyone ate at least once despite churn.
+    for node in range(9):
+        assert result.metrics.counters[node].cs_entries >= 1, f"node {node}"
+
+
+def test_choy_singh_static_equivalence():
+    # choy-singh is alg1 with precomputed colors: nobody ever recolors.
+    config = ScenarioConfig(
+        positions=line_positions(6, spacing=1.0),
+        algorithm="choy-singh",
+        seed=4,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=200.0)
+    assert result.starved == []
+    for node in range(6):
+        assert sim.algorithm_of(node).recolor_runs == 0

@@ -1,0 +1,56 @@
+"""Tests for analysis helpers (stats and tables)."""
+
+import pytest
+
+from repro.analysis.stats import Summary, percentile, summarize
+from repro.analysis.tables import render_table
+
+
+def test_percentile_interpolation():
+    data = [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0.0) == 0.0
+    assert percentile(data, 1.0) == 4.0
+    assert percentile(data, 0.5) == 2.0
+    assert percentile(data, 0.25) == pytest.approx(1.0)
+    assert percentile([7.0], 0.5) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.median == pytest.approx(2.5)
+    assert s.maximum == 4.0
+    assert s.minimum == 1.0
+    assert s.stdev == pytest.approx(1.118, abs=1e-3)
+    assert "n=4" in str(s)
+
+
+def test_summarize_empty_returns_none():
+    assert summarize([]) is None
+
+
+def test_summarize_order_independent():
+    assert summarize([3.0, 1.0, 2.0]) == summarize([1.0, 2.0, 3.0])
+
+
+def test_render_table_alignment_and_floats():
+    text = render_table(
+        ["name", "value"],
+        [["alpha", 1.23456], ["b", 10]],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.235" in text  # floats formatted to 3 decimals
+    assert "10" in text
+    # All data rows are equally wide.
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_render_table_no_title():
+    text = render_table(["a"], [[1]])
+    assert text.splitlines()[0].startswith("a")

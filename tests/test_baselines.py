@@ -1,0 +1,209 @@
+"""Tests for the baseline protocols."""
+
+import pytest
+
+from repro.baselines.chandy_misra import ChandyMisra, CMFork, CMRequest
+from repro.baselines.choy_singh import legal_coloring
+from repro.baselines.ordered_ids import OIFork, OIRequest, OrderedIds
+from repro.core.states import NodeState
+from repro.net.geometry import Point, line_positions, ring_positions
+from repro.net.topology import DynamicTopology
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+from helpers import FakeNode, assert_fork_uniqueness
+
+
+# ----------------------------------------------------------------------
+# Chandy-Misra units
+# ----------------------------------------------------------------------
+
+
+def build_cm(node_id=1, neighbors=(0, 2)):
+    node = FakeNode(node_id, neighbors)
+    alg = ChandyMisra(node)
+    for peer in neighbors:
+        alg.bootstrap_peer(peer)
+    return node, alg
+
+
+def test_cm_bootstrap_acyclic():
+    node, alg = build_cm()
+    # Smaller id holds the dirty fork.
+    assert not alg.holds_fork[0] and alg.holds_fork[2]
+    assert alg.holds_token[0] and not alg.holds_token[2]
+    assert alg.dirty[0] and alg.dirty[2]
+
+
+def test_cm_hungry_requests_missing_forks():
+    node, alg = build_cm()
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    requests = [d for d, m in node.sent if isinstance(m, CMRequest)]
+    assert requests == [0]
+    assert not alg.holds_token[0]
+
+
+def test_cm_dirty_fork_yielded_to_request():
+    node, alg = build_cm()
+    alg.on_message(2, CMRequest())
+    forks = [d for d, m in node.sent if isinstance(m, CMFork)]
+    assert forks == [2]
+    assert not alg.holds_fork[2]
+    assert alg.holds_token[2]
+
+
+def test_cm_clean_fork_kept_while_hungry():
+    node, alg = build_cm()
+    node.set_state(NodeState.HUNGRY)
+    alg.dirty[2] = False  # pretend we cleaned it by receiving it
+    alg.on_message(2, CMRequest())
+    assert alg.holds_fork[2]
+    assert alg.deferred[2]
+
+
+def test_cm_eating_defers_everything():
+    node, alg = build_cm()
+    node.set_state(NodeState.EATING)
+    alg.on_message(2, CMRequest())
+    assert alg.holds_fork[2] and alg.deferred[2]
+    node.set_state(NodeState.EATING)
+    node.clear()
+    alg.on_exit_cs()
+    forks = [d for d, m in node.sent if isinstance(m, CMFork)]
+    assert forks == [2]
+
+
+def test_cm_hungry_grantor_rerequests():
+    node, alg = build_cm()
+    node.set_state(NodeState.HUNGRY)
+    alg.on_message(2, CMRequest())  # dirty fork -> grant + re-request
+    kinds = [type(m).__name__ for d, m in node.sent if d == 2]
+    assert kinds == ["CMFork", "CMRequest"]
+
+
+def test_cm_fork_receipt_completes_eating():
+    node, alg = build_cm()
+    node.set_state(NodeState.HUNGRY)
+    alg.on_message(0, CMFork())
+    assert node.eat_calls == 1
+    assert not alg.dirty[0]
+
+
+# ----------------------------------------------------------------------
+# OrderedIds units
+# ----------------------------------------------------------------------
+
+
+def build_oi(node_id=1, neighbors=(0, 2)):
+    node = FakeNode(node_id, neighbors)
+    alg = OrderedIds(node)
+    for peer in neighbors:
+        alg.bootstrap_peer(peer)
+    return node, alg
+
+
+def test_oi_requests_forks_in_ascending_link_order():
+    node, alg = build_oi()
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()
+    # Missing the (0,1) fork only (we hold (1,2)); requests 0 first.
+    requests = [d for d, m in node.sent if isinstance(m, OIRequest)]
+    assert requests == [0]
+    node.clear()
+    alg.on_message(0, OIFork())
+    assert node.eat_calls == 1
+
+
+def test_oi_grants_forks_above_current_target():
+    node, alg = build_oi()
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()  # target is link (0,1)
+    alg.on_message(2, OIRequest())  # link (1,2) is above the target
+    grants = [d for d, m in node.sent if isinstance(m, OIFork)]
+    assert grants == [2]
+
+
+def test_oi_defers_forks_at_or_below_target():
+    node, alg = build_oi(node_id=1, neighbors=(0, 2))
+    node.set_state(NodeState.HUNGRY)
+    alg.holds_fork[0] = True  # now waiting for the higher link (1,2)
+    alg.on_hungry()
+    node.clear()
+    alg.on_message(0, OIRequest())  # link (0,1) <= target (1,2): defer
+    assert 0 in alg.deferred
+    assert node.sent == []
+
+
+def test_oi_exit_grants_deferred():
+    node, alg = build_oi()
+    alg.deferred.add(2)
+    node.set_state(NodeState.EATING)
+    alg.on_exit_cs()
+    grants = [d for d, m in node.sent if isinstance(m, OIFork)]
+    assert grants == [2]
+
+
+# ----------------------------------------------------------------------
+# legal_coloring helper
+# ----------------------------------------------------------------------
+
+
+def test_legal_coloring_is_legal_and_compact():
+    topo = DynamicTopology(radio_range=1.1)
+    for i, p in enumerate(ring_positions(6, radius=1.05)):
+        topo.add_node(i, p)
+    colors = legal_coloring(topo)
+    for a, b in topo.links():
+        assert colors[a] != colors[b]
+    assert max(colors.values()) <= topo.max_degree()
+
+
+# ----------------------------------------------------------------------
+# Integration: all baselines make progress and keep safety
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["chandy-misra", "ordered-ids", "choy-singh", "oracle"]
+)
+def test_baseline_static_progress(algorithm):
+    config = ScenarioConfig(
+        positions=line_positions(7, spacing=1.0),
+        algorithm=algorithm,
+        seed=9,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=250.0)
+    assert result.starved == []
+    for node in range(7):
+        assert result.metrics.counters[node].cs_entries >= 3
+
+
+@pytest.mark.parametrize("algorithm", ["chandy-misra", "ordered-ids"])
+def test_baseline_fork_uniqueness(algorithm):
+    config = ScenarioConfig(
+        positions=line_positions(5, spacing=1.0),
+        algorithm=algorithm,
+        seed=9,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    sim.run(until=100.0)
+    assert_fork_uniqueness(sim)
+
+
+def test_oracle_is_fastest():
+    def mean_rt(algorithm):
+        config = ScenarioConfig(
+            positions=line_positions(7, spacing=1.0),
+            algorithm=algorithm,
+            seed=9,
+            think_range=(0.5, 2.0),
+        )
+        result = Simulation(config).run(until=200.0)
+        times = result.response_times
+        return sum(times) / len(times)
+
+    assert mean_rt("oracle") < mean_rt("alg2")
+    assert mean_rt("oracle") < mean_rt("chandy-misra")

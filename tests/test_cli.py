@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, parse_crash, parse_range, parse_topology
+from repro.errors import ConfigurationError
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_parse_topology_variants():
+    line, span = parse_topology("line:5")
+    assert len(line) == 5 and span == 5.0
+    grid, _ = parse_topology("grid:9")
+    assert len(grid) == 9
+    ring, _ = parse_topology("ring:6")
+    assert len(ring) == 6
+    rand, span = parse_topology("random:7:4x3")
+    assert len(rand) == 7 and span == 4.0
+    for p in rand:
+        assert 0 <= p.x <= 4 and 0 <= p.y <= 3
+
+
+def test_parse_topology_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        parse_topology("blob:5")
+    with pytest.raises(ConfigurationError):
+        parse_topology("line:x")
+    with pytest.raises(ConfigurationError):
+        parse_topology("random:5")
+
+
+def test_parse_range_and_crash():
+    assert parse_range("1.5:3") == (1.5, 3.0)
+    assert parse_range("2") == (2.0, 2.0)
+    assert parse_crash("10:3") == (10.0, 3)
+    with pytest.raises(ConfigurationError):
+        parse_range("a:b")
+    with pytest.raises(ConfigurationError):
+        parse_crash("10")
+
+
+def test_algorithms_lists_registry():
+    code, output = run_cli("algorithms")
+    assert code == 0
+    for name in ("alg2", "alg1-greedy", "alg1-linial", "chandy-misra",
+                 "oracle", "alg2-nonotify"):
+        assert name in output
+
+
+def test_run_produces_summary():
+    code, output = run_cli(
+        "run", "--topology", "line:4", "--until", "50",
+        "--algorithm", "alg2",
+    )
+    assert code == 0
+    assert "cs entries" in output
+    assert "starved" in output
+
+
+def test_run_with_crash():
+    code, output = run_cli(
+        "run", "--topology", "line:5", "--until", "60",
+        "--algorithm", "alg2", "--crash", "10:2",
+    )
+    assert code == 0
+    assert "cs entries" in output
+
+
+def test_compare_table():
+    code, output = run_cli(
+        "compare", "--topology", "line:4", "--until", "40",
+        "--algorithms", "alg2", "oracle",
+    )
+    assert code == 0
+    assert "alg2" in output and "oracle" in output
+
+
+def test_locality_strip():
+    code, output = run_cli(
+        "locality", "--nodes", "7", "--until", "150",
+        "--algorithms", "alg2",
+    )
+    assert code == 0
+    assert "[" in output and "X" in output
+
+
+def test_unknown_algorithm_is_a_clean_error():
+    code, output = run_cli(
+        "compare", "--topology", "line:4", "--until", "10",
+        "--algorithms", "nope",
+    )
+    assert code == 2
+    assert "error:" in output

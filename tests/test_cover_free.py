@@ -1,0 +1,150 @@
+"""Tests for the polynomial cover-free families (Theorem 18 substitute)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring.cover_free import (
+    PolynomialFamily,
+    final_color_range,
+    is_prime,
+    next_prime,
+    reduction_schedule,
+)
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def test_primality_basics():
+    primes = [2, 3, 5, 7, 11, 13, 17, 19, 23]
+    for p in primes:
+        assert is_prime(p)
+    for c in [0, 1, 4, 6, 9, 15, 21, 25, 49]:
+        assert not is_prime(c)
+
+
+def test_next_prime():
+    assert next_prime(1) == 2
+    assert next_prime(8) == 11
+    assert next_prime(11) == 11
+    assert next_prime(90) == 97
+
+
+def test_family_parameters_satisfy_constraints():
+    fam = PolynomialFamily(m=1000, delta=4)
+    assert is_prime(fam.q)
+    assert fam.q > fam.degree * fam.delta
+    assert fam.q ** (fam.degree + 1) >= fam.m
+
+
+def test_sets_have_q_elements_in_range():
+    fam = PolynomialFamily(m=100, delta=3)
+    for v in range(fam.m):
+        s = fam.set_for(v)
+        assert len(s) == fam.q
+        assert all(0 <= x < fam.range_size for x in s)
+
+
+def test_distinct_values_give_distinct_sets():
+    fam = PolynomialFamily(m=60, delta=3)
+    sets = [fam.set_for(v) for v in range(fam.m)]
+    assert len(set(sets)) == fam.m
+
+
+def test_pairwise_intersection_bounded_by_degree():
+    fam = PolynomialFamily(m=60, delta=3)
+    for u in range(fam.m):
+        for v in range(u + 1, fam.m):
+            assert len(fam.set_for(u) & fam.set_for(v)) <= fam.degree
+
+
+def test_cover_free_property_exhaustive_small():
+    """No set covered by the union of any delta others (delta=2)."""
+    import itertools
+
+    fam = PolynomialFamily(m=25, delta=2)
+    values = range(fam.m)
+    for v in values:
+        own = fam.set_for(v)
+        for others in itertools.combinations((u for u in values if u != v), 2):
+            union = set()
+            for u in others:
+                union |= fam.set_for(u)
+            assert not own <= union, f"F_{v} covered by {others}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=5000),
+    delta=st.integers(min_value=1, max_value=10),
+    data=st.data(),
+)
+def test_fresh_element_property(m, delta, data):
+    """fresh_element always returns an own-set element missed by others."""
+    fam = PolynomialFamily(m, delta)
+    value = data.draw(st.integers(min_value=0, max_value=m - 1))
+    others = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=m - 1).filter(lambda u: u != value),
+            max_size=delta,
+        )
+    )
+    fresh = fam.fresh_element(value, others)
+    assert fresh in fam.set_for(value)
+    for other in others:
+        assert fresh not in fam.set_for(other)
+
+
+def test_fresh_element_rejects_too_many_neighbors():
+    fam = PolynomialFamily(m=50, delta=2)
+    with pytest.raises(ProtocolError):
+        fam.fresh_element(0, [1, 2, 3])
+
+
+def test_out_of_domain_value_rejected():
+    fam = PolynomialFamily(m=10, delta=2)
+    with pytest.raises(ProtocolError):
+        fam.set_for(fam.q ** (fam.degree + 1))
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        PolynomialFamily(0, 2)
+    with pytest.raises(ConfigurationError):
+        PolynomialFamily(10, 0)
+    with pytest.raises(ConfigurationError):
+        reduction_schedule(0, 1)
+
+
+def test_schedule_ranges_strictly_shrink():
+    schedule = reduction_schedule(10 ** 6, 8)
+    ranges = [f.range_size for f in schedule]
+    m = 10 ** 6
+    for family, rng in zip(schedule, ranges):
+        assert rng < m
+        m = rng
+
+
+def test_schedule_round_count_grows_very_slowly():
+    """The log* behavior: rounds grow by at most a couple per 10^3x n."""
+    rounds = [len(reduction_schedule(n, 8)) for n in (10 ** 3, 10 ** 6, 10 ** 12)]
+    assert rounds == sorted(rounds)
+    assert rounds[-1] <= rounds[0] + 3
+    assert rounds[-1] <= 6
+
+
+def test_schedule_is_memoized_and_deterministic():
+    a = reduction_schedule(5000, 5)
+    b = reduction_schedule(5000, 5)
+    assert a is b  # lru_cache
+
+
+def test_final_color_range_quadratic_in_delta():
+    """Final range is polynomial in delta, independent of n (large n)."""
+    n = 10 ** 9
+    small = final_color_range(n, 4)
+    large = final_color_range(n, 16)
+    assert small < large
+    # O(delta^2 polylog): well under delta^3 at these sizes.
+    assert large <= 16 ** 3
+    # And independent of n once n is large.
+    assert final_color_range(10 ** 12, 16) == pytest.approx(large, abs=large)

@@ -1,0 +1,48 @@
+"""Smoke tests: the shipped examples run end-to-end.
+
+Each example is executed as a subprocess (its own interpreter, exactly
+as a user would run it); we check the exit code and a couple of
+signature lines of its output.  Only the two fastest examples run here
+to keep the suite quick — the longer ones are exercised by the
+benchmark suite's equivalent experiments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 120.0):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "critical-section entries" in out
+    assert "starved nodes            : none" in out
+    assert "Per-node fairness" in out
+
+
+def test_meeting_room_example():
+    out = run_example("meeting_room_projector.py")
+    assert "takes the projector" in out
+    assert "latecomer" in out
+    assert "Recoloring runs per node" in out
+
+
+@pytest.mark.slow
+def test_failure_locality_demo_example():
+    out = run_example("failure_locality_demo.py", timeout=300.0)
+    assert "starvation radius" in out
+    assert "alg2" in out and "chandy-misra" in out

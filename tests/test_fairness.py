@@ -1,0 +1,101 @@
+"""Tests for fairness metrics."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.fairness import (
+    contention_weights,
+    entry_counts,
+    fairness_report,
+    jain_index,
+    starvation_free,
+    weighted_fairness,
+)
+from repro.net.geometry import line_positions
+from repro.net.topology import DynamicTopology
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+
+def test_jain_index_bounds():
+    assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+    assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+    assert jain_index([0, 0]) == 1.0
+    assert 0.25 < jain_index([3, 1, 1, 1]) < 1.0
+
+
+def test_jain_index_validation():
+    with pytest.raises(ValueError):
+        jain_index([])
+    with pytest.raises(ValueError):
+        jain_index([1, -1])
+
+
+def build_line_topology(n=4):
+    topo = DynamicTopology(radio_range=1.0)
+    for i, p in enumerate(line_positions(n, 1.0)):
+        topo.add_node(i, p)
+    return topo
+
+
+def test_contention_weights_reflect_degree():
+    topo = build_line_topology(4)
+    weights = contention_weights(topo)
+    # Endpoints have degree 1 -> weight 1/2; middles degree 2 -> 1/3.
+    assert weights[0] == pytest.approx(0.5)
+    assert weights[1] == pytest.approx(1 / 3)
+
+
+def test_entry_counts_defaults_to_zero():
+    metrics = MetricsCollector()
+    metrics.note_hungry(0, 0.0)
+    metrics.note_eat_start(0, 1.0)
+    assert entry_counts(metrics, [0, 1]) == [1, 0]
+
+
+def test_weighted_fairness_corrects_for_contention():
+    topo = build_line_topology(3)
+    metrics = MetricsCollector()
+    # Endpoint nodes (weight 1/2) eat 3x; middle (weight 1/3) eats 2x —
+    # exactly proportional to the ideal shares (6x weight).
+    for node, times in [(0, 3), (1, 2), (2, 3)]:
+        for k in range(times):
+            metrics.note_hungry(node, float(k))
+            metrics.note_eat_start(node, float(k) + 0.1)
+    assert weighted_fairness(metrics, topo) == pytest.approx(1.0)
+    # Raw Jain is below 1 for the same data.
+    assert jain_index(entry_counts(metrics, topo.nodes())) < 1.0
+
+
+def test_starvation_free_excludes_crashed():
+    metrics = MetricsCollector()
+    metrics.note_hungry(3, 0.0)
+    assert not starvation_free(metrics, [1, 2, 3], now=100.0, threshold=10.0)
+    assert starvation_free(
+        metrics, [1, 2, 3], now=100.0, threshold=10.0, exclude=[3]
+    )
+
+
+def test_fairness_report_keys():
+    topo = build_line_topology(3)
+    metrics = MetricsCollector()
+    metrics.note_hungry(0, 0.0)
+    metrics.note_eat_start(0, 1.0)
+    report = fairness_report(metrics, topo)
+    assert set(report) == {
+        "jain_raw", "jain_weighted", "min_entries", "max_entries",
+    }
+    assert report["max_entries"] == 1.0
+
+
+def test_real_run_is_reasonably_fair():
+    config = ScenarioConfig(
+        positions=line_positions(8, spacing=1.0),
+        algorithm="alg2",
+        seed=3,
+        think_range=(0.2, 1.0),
+    )
+    sim = Simulation(config)
+    sim.run(until=300.0)
+    report = fairness_report(sim.metrics, sim.topology)
+    assert report["jain_weighted"] > 0.85
+    assert report["min_entries"] > 0

@@ -1,0 +1,93 @@
+"""Reduced-scale runs of the canonical experiments: shapes must hold."""
+
+import pytest
+
+from repro.harness.experiments import (
+    compare_algorithms,
+    crash_probe,
+    doorway_latency,
+    fig6_crash_scenario,
+    pipeline_breakdown,
+    response_vs_n,
+    star_positions,
+)
+
+
+def test_star_positions_layout():
+    pts = star_positions(5)
+    assert len(pts) == 6
+    hub = pts[0]
+    for leaf in pts[1:]:
+        assert hub.distance_to(leaf) == pytest.approx(0.9)
+
+
+def test_compare_algorithms_small():
+    rows = compare_algorithms(
+        n=7, until=150.0, algorithms=("oracle", "alg2", "chandy-misra")
+    )
+    by_name = {r.algorithm: r for r in rows}
+    assert set(by_name) == {"oracle", "alg2", "chandy-misra"}
+    # Everyone made progress; the oracle is fastest on average.
+    for row in rows:
+        assert row.cs_entries > 0 and row.response is not None
+    assert by_name["oracle"].response.mean < by_name["alg2"].response.mean
+    # The oracle sends no messages.
+    assert by_name["oracle"].messages_per_cs == 0.0
+    assert by_name["alg2"].messages_per_cs > 0
+
+
+def test_crash_probe_alg2_radius_bounded():
+    report = crash_probe("alg2", n=9, until=400.0)
+    assert report.starvation_radius is None or report.starvation_radius <= 2
+
+
+def test_crash_probe_chandy_misra_radius_large():
+    report = crash_probe("chandy-misra", n=9, until=400.0)
+    assert report.starvation_radius is not None
+    assert report.starvation_radius >= 3
+
+
+def test_doorway_latency_return_path_scales_with_R():
+    base = doorway_latency("double-return", delta=4, returns=1, until=150.0)
+    triple = doorway_latency("double-return", delta=4, returns=3, until=150.0)
+    assert triple.mean > 2.0 * base.mean
+
+
+def test_doorway_latency_async_beats_sync_tail():
+    sync = doorway_latency("sync", delta=6, until=150.0)
+    asyn = doorway_latency("async", delta=6, until=150.0)
+    assert asyn is not None  # async never starves the hub
+    sync_max = float("inf") if sync is None else sync.maximum
+    assert asyn.maximum <= sync_max + 1e-9
+
+
+def test_fig6_scenario_shape():
+    out = fig6_crash_scenario(move_time=150.0, until=300.0)
+    # p1 (distance 3 from the crash) always progresses.
+    assert out.p1_entries > 10
+    # p2 is blocked while p3 is present, recovers via the return path.
+    assert out.p2_entries_before_move == 0
+    assert out.p2_entries_after_move > 0
+    assert out.p2_return_paths >= 1
+    # p3 starves while adjacent to the crashed p4.
+    assert out.p3_entries_before_move == 0
+
+
+def test_pipeline_breakdown_covers_stages():
+    stages = pipeline_breakdown(n=9, until=200.0)
+    assert set(stages) == {
+        "cross_ADr", "cross_SDr", "recolor", "cross_ADf", "cross_SDf", "eat",
+    }
+    # The fork-collection stages always have samples.
+    assert stages["eat"] > 0
+    assert stages["cross_ADf"] >= 0
+
+
+def test_response_vs_n_alg2_static_subquadratic():
+    """Theorem 26: static response grows ~linearly, not quadratically."""
+    data = response_vs_n("alg2", ns=(6, 12, 24), until=200.0)
+    ns = [n for n, _ in data]
+    maxima = [s.maximum for _, s in data]
+    assert ns == [6, 12, 24]
+    # Growing n by 4x must grow the max response by far less than 16x.
+    assert maxima[2] <= maxima[0] * 8

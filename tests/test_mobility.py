@@ -1,0 +1,166 @@
+"""Unit tests for mobility models and the controller."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility import (
+    Episode,
+    MobilityController,
+    RandomWalk,
+    RandomWaypoint,
+    ScriptedMobility,
+    ScriptedMove,
+    StaticMobility,
+)
+from repro.net.channel import ChannelLayer
+from repro.net.geometry import Point
+from repro.net.linklayer import LinkLayer
+from repro.net.topology import DynamicTopology
+from repro.sim.clock import TimeBounds
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+
+
+class NullHandler:
+    def on_message(self, src, message):
+        pass
+
+    def on_link_up(self, peer, moving):
+        pass
+
+    def on_link_down(self, peer):
+        pass
+
+
+def build(nodes=3, spacing=1.0, step=0.25):
+    sim = Simulator()
+    topo = DynamicTopology(radio_range=1.2)
+    link = LinkLayer(sim, topo)
+    channel = ChannelLayer(
+        sim, topo, TimeBounds(), RandomSource(0).stream("c"),
+        deliver=link.deliver,
+    )
+    link.bind_channel(channel)
+    for i in range(nodes):
+        topo.add_node(i, Point(i * spacing, 0.0))
+        link.register(i, NullHandler())
+    controller = MobilityController(
+        sim, topo, link, RandomSource(7), step_length=step
+    )
+    return sim, topo, link, controller
+
+
+def test_static_model_never_moves():
+    sim, topo, link, controller = build()
+    controller.attach(0, StaticMobility())
+    controller.start()
+    sim.run(until=100.0)
+    assert topo.position(0) == Point(0.0, 0.0)
+
+
+def test_move_node_reaches_destination_at_speed():
+    sim, topo, link, controller = build()
+    controller.move_node(0, Point(0.0, 4.0), speed=2.0)
+    sim.run()
+    assert topo.position(0) == Point(0.0, 4.0)
+    # 4 units at speed 2 with step 0.25 -> last step at t = 2.0 - step_time
+    assert sim.now == pytest.approx(4.0 / 2.0 - 0.25 / 2.0)
+
+
+def test_moving_flag_set_during_episode():
+    sim, topo, link, controller = build()
+    controller.move_node(0, Point(0.0, 2.0), speed=1.0)
+    observed = []
+    sim.schedule(1.0, lambda: observed.append(link.is_moving(0)))
+    sim.run()
+    assert observed == [True]
+    assert not link.is_moving(0)
+
+
+def test_teleport_flips_topology_instantly():
+    sim, topo, link, controller = build()
+    controller.teleport(2, Point(0.0, 0.5))
+    sim.run()
+    assert topo.has_link(0, 2)
+    assert not link.is_moving(2)
+
+
+def test_crashed_node_freezes_mid_flight():
+    sim, topo, link, controller = build()
+    controller.move_node(0, Point(0.0, 10.0), speed=1.0)
+    sim.schedule(3.0, lambda: link.crash(0))
+    sim.run()
+    assert topo.position(0).y < 10.0  # froze on the way
+    assert not link.is_moving(0)
+
+
+def test_crashed_node_never_starts_episode():
+    sim, topo, link, controller = build()
+    link.crash(0)
+    controller.attach(0, ScriptedMobility([ScriptedMove(1.0, Point(5, 5))]))
+    controller.start()
+    sim.run()
+    assert topo.position(0) == Point(0.0, 0.0)
+
+
+def test_scripted_mobility_replays_moves_in_order():
+    sim, topo, link, controller = build()
+    controller.attach(
+        0,
+        ScriptedMobility(
+            [
+                ScriptedMove(5.0, Point(0.0, 2.0)),
+                ScriptedMove(10.0, Point(0.0, 0.0)),
+            ]
+        ),
+    )
+    controller.start()
+    sim.run(until=7.0)
+    assert topo.position(0) == Point(0.0, 2.0)
+    sim.run(until=20.0)
+    assert topo.position(0) == Point(0.0, 0.0)
+
+
+def test_random_waypoint_stays_in_arena():
+    sim, topo, link, controller = build()
+    model = RandomWaypoint(5.0, 5.0, speed_range=(1.0, 2.0), pause_range=(0.0, 0.5))
+    controller.attach(1, model)
+    controller.start()
+    positions = []
+    for t in range(1, 40):
+        sim.schedule_at(float(t), lambda: positions.append(topo.position(1)))
+    sim.run(until=40.0)
+    assert positions, "node never sampled"
+    for p in positions:
+        assert 0.0 <= p.x <= 5.0 and 0.0 <= p.y <= 5.0
+
+
+def test_random_walk_hops_are_bounded():
+    sim, topo, link, controller = build()
+    model = RandomWalk(10.0, 10.0, hop_range=(0.5, 1.0), speed=2.0,
+                       pause_range=(0.0, 0.1))
+    start = topo.position(1)
+    episode = model.next_episode(1, 0.0, topo, RandomSource(3).stream("m"))
+    assert episode is not None
+    hop = start.distance_to(episode.destination)
+    assert hop <= 1.0 + 1e-9
+
+
+def test_episode_validation():
+    with pytest.raises(ConfigurationError):
+        Episode(start_delay=-1.0, destination=Point(0, 0), speed=1.0)
+    with pytest.raises(ConfigurationError):
+        RandomWaypoint(0.0, 5.0)
+    with pytest.raises(ConfigurationError):
+        RandomWalk(5.0, 5.0, speed=0)
+
+
+def test_topology_updates_generate_link_events_along_path():
+    sim, topo, link, controller = build(nodes=2, spacing=5.0)
+    events = []
+    link.observers.append(lambda kind, a, b: events.append((kind, sim.now)))
+    # Walk node 0 past node 1 and far beyond: link must come up then down.
+    controller.move_node(0, Point(10.0, 0.0), speed=1.0)
+    sim.run()
+    kinds = [k for k, _ in events]
+    assert kinds == ["up", "down"]

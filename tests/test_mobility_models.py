@@ -1,0 +1,165 @@
+"""Tests for the Gauss-Markov and group mobility models."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility import GaussMarkov, GroupCenter, GroupMobility
+from repro.net.geometry import Point
+from repro.net.topology import DynamicTopology
+from repro.runtime.simulation import ScenarioConfig, Simulation
+from repro.sim.rng import RandomSource
+
+
+def topo_with(node_id=0, position=Point(5.0, 5.0)):
+    topo = DynamicTopology(radio_range=1.0)
+    topo.add_node(node_id, position)
+    return topo
+
+
+# ----------------------------------------------------------------------
+# Gauss-Markov
+# ----------------------------------------------------------------------
+
+
+def test_gauss_markov_validation():
+    with pytest.raises(ConfigurationError):
+        GaussMarkov(0, 10)
+    with pytest.raises(ConfigurationError):
+        GaussMarkov(10, 10, alpha=1.5)
+    with pytest.raises(ConfigurationError):
+        GaussMarkov(10, 10, mean_speed=0)
+
+
+def test_gauss_markov_stays_in_arena():
+    model = GaussMarkov(10.0, 10.0, mean_speed=2.0, update_interval=3.0)
+    topo = topo_with(position=Point(9.5, 9.5))
+    rng = RandomSource(1).stream("m")
+    position = topo.position(0)
+    for _ in range(50):
+        episode = model.next_episode(0, 0.0, topo, rng)
+        assert 0.0 <= episode.destination.x <= 10.0
+        assert 0.0 <= episode.destination.y <= 10.0
+        topo.set_position(0, episode.destination)
+
+
+def test_gauss_markov_velocity_correlation():
+    """High alpha -> consecutive headings stay close (vs alpha ~ 0)."""
+
+    def heading_changes(alpha, seed=5):
+        model = GaussMarkov(1000.0, 1000.0, mean_speed=1.0, alpha=alpha,
+                            direction_sigma=1.0)
+        topo = topo_with(position=Point(500.0, 500.0))
+        rng = RandomSource(seed).stream("m")
+        headings = []
+        for _ in range(60):
+            episode = model.next_episode(0, 0.0, topo, rng)
+            origin = topo.position(0)
+            headings.append(
+                math.atan2(episode.destination.y - origin.y,
+                           episode.destination.x - origin.x)
+            )
+            topo.set_position(0, episode.destination)
+        deltas = [
+            abs((b - a + math.pi) % (2 * math.pi) - math.pi)
+            for a, b in zip(headings, headings[1:])
+        ]
+        return sum(deltas) / len(deltas)
+
+    assert heading_changes(alpha=0.95) < heading_changes(alpha=0.05)
+
+
+def test_gauss_markov_speed_stays_positive():
+    model = GaussMarkov(100.0, 100.0, mean_speed=1.0, speed_sigma=2.0)
+    topo = topo_with(position=Point(50.0, 50.0))
+    rng = RandomSource(2).stream("m")
+    for _ in range(100):
+        episode = model.next_episode(0, 0.0, topo, rng)
+        assert episode.speed > 0
+        topo.set_position(0, episode.destination)
+
+
+# ----------------------------------------------------------------------
+# Group mobility
+# ----------------------------------------------------------------------
+
+
+def test_group_center_advances_legs_lazily():
+    center = GroupCenter(Point(0, 0), 10.0, 10.0, speed=1.0, leg_duration=5.0)
+    rng = RandomSource(3).stream("g")
+    p0 = center.position_at(0.0, rng)
+    p1 = center.position_at(20.0, rng)
+    assert p0 == Point(0, 0)
+    assert 0.0 <= p1.x <= 10.0 and 0.0 <= p1.y <= 10.0
+
+
+def test_group_members_stay_near_center():
+    center = GroupCenter(Point(5, 5), 10.0, 10.0, speed=0.5, leg_duration=10.0)
+    model = GroupMobility(center, wander_radius=1.0, update_interval=2.0)
+    topo = topo_with(position=Point(5.0, 5.0))
+    rng = RandomSource(4).stream("g")
+    now = 0.0
+    for _ in range(20):
+        episode = model.next_episode(0, now, topo, rng)
+        now += episode.start_delay
+        anchor = center.position_at(now + model.update_interval, rng)
+        # Destination within the wander radius of the (near-term) anchor,
+        # modulo the center having moved a little since we sampled it.
+        assert episode.destination.distance_to(anchor) <= 1.0 + 2.0
+        topo.set_position(0, episode.destination)
+
+
+def test_group_validation():
+    center = GroupCenter(Point(0, 0), 5.0, 5.0)
+    with pytest.raises(ConfigurationError):
+        GroupCenter(Point(0, 0), 0, 5.0)
+    with pytest.raises(ConfigurationError):
+        GroupMobility(center, wander_radius=-1)
+    with pytest.raises(ConfigurationError):
+        GroupMobility(center, member_speed=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the protocols stay safe under these models too
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["alg2", "alg1-greedy"])
+def test_protocols_safe_under_gauss_markov(algorithm):
+    positions = [Point(float(i % 3), float(i // 3)) for i in range(9)]
+    config = ScenarioConfig(
+        positions=positions,
+        radio_range=1.3,
+        algorithm=algorithm,
+        seed=6,
+        think_range=(0.3, 1.5),
+        delta_override=8,
+        mobility_factory=lambda i: (
+            GaussMarkov(3.0, 3.0, mean_speed=0.8) if i < 3 else None
+        ),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=120.0)  # strict safety on
+    assert result.cs_entries > 20
+
+
+def test_protocols_safe_under_group_mobility():
+    # One 4-node team sweeps past a static 5-node sensor line.
+    positions = [Point(float(i), 0.0) for i in range(5)]
+    positions += [Point(-3.0 + 0.3 * i, 1.0) for i in range(4)]
+    center = GroupCenter(Point(-3.0, 1.0), 8.0, 2.0, speed=0.5,
+                         leg_duration=15.0)
+    config = ScenarioConfig(
+        positions=positions,
+        radio_range=1.4,
+        algorithm="alg2",
+        seed=8,
+        think_range=(0.3, 1.5),
+        mobility_factory=lambda i: (
+            GroupMobility(center, wander_radius=0.5) if i >= 5 else None
+        ),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=120.0)
+    assert result.cs_entries > 20

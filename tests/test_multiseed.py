@@ -1,0 +1,75 @@
+"""Tests for the multi-seed replication helpers."""
+
+import math
+
+import pytest
+
+from repro.harness.multiseed import (
+    DEFAULT_METRICS,
+    Estimate,
+    estimate,
+    replicate,
+    t_critical_95,
+)
+from repro.net.geometry import line_positions
+from repro.runtime.simulation import ScenarioConfig
+
+
+def test_t_critical_monotone_and_bounded():
+    assert t_critical_95(1) > t_critical_95(5) > t_critical_95(100)
+    assert t_critical_95(100) == pytest.approx(1.96)
+    with pytest.raises(ValueError):
+        t_critical_95(0)
+
+
+def test_estimate_basics():
+    e = estimate([2.0, 4.0, 6.0])
+    assert e.mean == pytest.approx(4.0)
+    assert e.samples == 3
+    assert e.low < 4.0 < e.high
+    assert "±" in str(e)
+
+
+def test_estimate_single_sample_has_infinite_width():
+    e = estimate([5.0])
+    assert math.isinf(e.half_width)
+
+
+def test_estimate_empty_rejected():
+    with pytest.raises(ValueError):
+        estimate([])
+
+
+def test_estimate_overlap():
+    a = Estimate(mean=1.0, half_width=0.5, samples=5)
+    b = Estimate(mean=1.8, half_width=0.4, samples=5)
+    c = Estimate(mean=3.0, half_width=0.2, samples=5)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_replicate_runs_all_seeds_and_aggregates():
+    config = ScenarioConfig(
+        positions=line_positions(5, spacing=1.0),
+        algorithm="alg2",
+        think_range=(0.5, 2.0),
+    )
+    estimates = replicate(
+        config, until=80.0, seeds=(1, 2, 3), metrics=DEFAULT_METRICS
+    )
+    assert set(estimates) == set(DEFAULT_METRICS)
+    assert estimates["throughput"].samples == 3
+    assert estimates["mean_response"].mean > 0
+    # Throughput CI is finite with 3 seeds.
+    assert not math.isinf(estimates["throughput"].half_width)
+
+
+def test_replicate_is_seed_sensitive_but_deterministic():
+    config = ScenarioConfig(
+        positions=line_positions(4, spacing=1.0),
+        algorithm="alg2",
+        think_range=(0.5, 2.0),
+    )
+    a = replicate(config, until=60.0, seeds=(7,), metrics=DEFAULT_METRICS)
+    b = replicate(config, until=60.0, seeds=(7,), metrics=DEFAULT_METRICS)
+    assert a["mean_response"].mean == b["mean_response"].mean

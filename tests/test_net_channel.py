@@ -1,0 +1,118 @@
+"""Unit tests for the FIFO bounded-delay channel layer."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.channel import ChannelLayer
+from repro.net.geometry import Point
+from repro.net.messages import Message
+from repro.net.topology import DynamicTopology
+from repro.sim.clock import TimeBounds
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    seq: int = 0
+
+
+class Collector:
+    def __init__(self):
+        self.received = []
+
+    def __call__(self, src, dst, message):
+        self.received.append((src, dst, message))
+
+
+def build(nu=1.0, jitter=True, nodes=3):
+    sim = Simulator()
+    topo = DynamicTopology(radio_range=1.5)
+    for i in range(nodes):
+        topo.add_node(i, Point(float(i), 0.0))
+    bounds = TimeBounds(nu=nu, min_delay_fraction=0.25 if jitter else 1.0)
+    sink = Collector()
+    channel = ChannelLayer(
+        sim, topo, bounds, RandomSource(1).stream("c"), deliver=sink
+    )
+    return sim, topo, channel, sink
+
+
+def test_delivery_within_nu():
+    sim, topo, channel, sink = build(nu=2.0)
+    for seq in range(20):
+        channel.send(0, 1, Ping(seq))
+    sim.run()
+    assert len(sink.received) == 20
+    assert sim.now <= 2.0 + 1e-6
+
+
+def test_fifo_per_directed_link():
+    sim, topo, channel, sink = build(nu=5.0)
+    for seq in range(50):
+        channel.send(0, 1, Ping(seq))
+    sim.run()
+    sequence = [m.seq for _, _, m in sink.received]
+    assert sequence == sorted(sequence)
+
+
+def test_send_on_missing_link_rejected():
+    sim, topo, channel, sink = build()
+    with pytest.raises(TopologyError):
+        channel.send(0, 2, Ping())  # distance 2.0 > range 1.5
+
+
+def test_message_dropped_when_link_fails_in_flight():
+    sim, topo, channel, sink = build(nu=1.0, jitter=False)
+    channel.send(0, 1, Ping(1))
+    # Break the link before delivery time.
+    diff = topo.set_position(1, Point(10, 10))
+    channel.link_down(0, 1)
+    assert diff.removed
+    sim.run()
+    assert sink.received == []
+    assert channel.stats.dropped_link_down == 1
+
+
+def test_stale_incarnation_dropped_after_reform():
+    sim, topo, channel, sink = build(nu=1.0, jitter=False)
+    channel.send(0, 1, Ping(1))
+    # Link breaks and immediately re-forms before the delivery fires.
+    topo.set_position(1, Point(10, 10))
+    channel.link_down(0, 1)
+    topo.set_position(1, Point(1.0, 0.0))
+    sim.run()
+    # The in-flight message belonged to the old incarnation.
+    assert sink.received == []
+    assert channel.stats.dropped_link_down == 1
+    # New messages on the new incarnation flow normally.
+    channel.send(0, 1, Ping(2))
+    sim.run()
+    assert [m.seq for _, _, m in sink.received] == [2]
+
+
+def test_broadcast_reaches_all_neighbors():
+    sim, topo, channel, sink = build()
+    channel.broadcast(1, topo.neighbors(1), Ping(7))
+    sim.run()
+    destinations = sorted(dst for _, dst, _ in sink.received)
+    assert destinations == [0, 2]
+
+
+def test_stats_by_kind():
+    sim, topo, channel, sink = build()
+    channel.send(0, 1, Ping(1))
+    channel.send(0, 1, Ping(2))
+    sim.run()
+    assert channel.stats.sent == 2
+    assert channel.stats.delivered == 2
+    assert channel.stats.snapshot() == {"Ping": 2}
+
+
+def test_deterministic_delay_mode():
+    sim, topo, channel, sink = build(nu=3.0, jitter=False)
+    channel.send(0, 1, Ping(0))
+    sim.run()
+    assert sim.now == pytest.approx(3.0)

@@ -1,0 +1,136 @@
+"""End-to-end property-based tests: protocol invariants under random
+topologies, workloads and mobility.
+
+These are the highest-value tests in the suite: hypothesis explores the
+scenario space, and the strict safety monitor inside every simulation
+turns any local-mutual-exclusion violation into an immediate failure.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import RandomWaypoint
+from repro.net.geometry import Point
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+from helpers import (
+    assert_alg2_priorities_antisymmetric,
+    assert_alg2_priority_graph_acyclic,
+    assert_fork_uniqueness,
+)
+
+ALGORITHMS = ["alg2", "alg1-greedy", "alg1-linial", "chandy-misra", "ordered-ids"]
+
+positions_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+    ),
+    min_size=2,
+    max_size=10,
+    unique=True,
+).map(lambda pts: [Point(float(x) * 0.9, float(y) * 0.9) for x, y in pts])
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    positions=positions_strategy,
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+    algorithm=st.sampled_from(ALGORITHMS),
+)
+def test_safety_and_fork_uniqueness_random_static(positions, seed, algorithm):
+    """No run — any topology, any seed — may violate mutual exclusion."""
+    config = ScenarioConfig(
+        positions=positions,
+        radio_range=1.0,
+        algorithm=algorithm,
+        seed=seed,
+        think_range=(0.2, 1.5),
+    )
+    sim = Simulation(config)
+    sim.run(until=60.0)  # strict monitor raises on violation
+    assert_fork_uniqueness(sim)
+    if algorithm == "alg2":
+        assert_alg2_priorities_antisymmetric(sim)
+        assert_alg2_priority_graph_acyclic(sim)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+    algorithm=st.sampled_from(["alg2", "alg1-greedy", "chandy-misra"]),
+    movers=st.integers(min_value=1, max_value=3),
+)
+def test_safety_under_mobility(seed, algorithm, movers):
+    """Mobility churn never violates safety (the demotion rule works)."""
+    positions = [Point(float(i % 3), float(i // 3)) for i in range(9)]
+    config = ScenarioConfig(
+        positions=positions,
+        radio_range=1.2,
+        algorithm=algorithm,
+        seed=seed,
+        think_range=(0.2, 1.0),
+        delta_override=8,
+        mobility_factory=lambda i: (
+            RandomWaypoint(3.0, 3.0, speed_range=(0.8, 1.5),
+                           pause_range=(1.0, 4.0))
+            if i < movers
+            else None
+        ),
+    )
+    sim = Simulation(config)
+    sim.run(until=60.0)
+    assert_fork_uniqueness(sim)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+    crash_node=st.integers(min_value=0, max_value=8),
+    algorithm=st.sampled_from(["alg2", "alg1-greedy"]),
+)
+def test_safety_with_crashes(seed, crash_node, algorithm):
+    """Crashes never cause safety violations (only liveness loss)."""
+    positions = [Point(float(i % 3), float(i // 3)) for i in range(9)]
+    config = ScenarioConfig(
+        positions=positions,
+        radio_range=1.2,
+        algorithm=algorithm,
+        seed=seed,
+        think_range=(0.2, 1.0),
+        crashes=[(10.0, crash_node)],
+    )
+    sim = Simulation(config)
+    sim.run(until=60.0)
+    assert_fork_uniqueness(sim)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_alg2_progress_on_random_seeds(seed):
+    """Failure-free static runs never starve anyone (starvation freedom)."""
+    positions = [Point(float(i), 0.0) for i in range(7)]
+    config = ScenarioConfig(
+        positions=positions,
+        radio_range=1.0,
+        algorithm="alg2",
+        seed=seed,
+        think_range=(0.2, 1.0),
+    )
+    result = Simulation(config).run(until=150.0)
+    assert result.starved == []
+    for node in range(7):
+        assert result.metrics.counters[node].cs_entries >= 1

@@ -1,0 +1,144 @@
+"""Tests for the randomized coloring procedure (Chapter 7 extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring.randomized import Candidate, RandomizedColoring
+from repro.core.messages import RecolorNack
+from repro.errors import ConfigurationError
+from repro.net.geometry import line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+
+class Wire:
+    """Instant in-order delivery between sessions (see test_coloring)."""
+
+    def __init__(self):
+        self.sessions = {}
+        self.finished = {}
+        self.queue = []
+
+    def add(self, node_id, procedure, peers):
+        session = procedure.create_session(
+            node_id,
+            set(peers),
+            lambda dst, msg, src=node_id: self.queue.append((src, dst, msg)),
+            lambda value, src=node_id: self.finished.__setitem__(src, value),
+        )
+        self.sessions[node_id] = session
+        return session
+
+    def deliver_all(self):
+        while self.queue:
+            src, dst, msg = self.queue.pop(0)
+            target = self.sessions.get(dst)
+            if isinstance(msg, RecolorNack):
+                # NACKs always terminate (see test_coloring.Wire).
+                if target is not None:
+                    target.remove_peer(src)
+                continue
+            if target is None or not target.active:
+                self.queue.append((dst, src, RecolorNack(0)))
+                continue
+            target.on_peer_message(src, msg)
+
+
+def run_clique(ids, seed=0, delta=None):
+    procedure = RandomizedColoring(
+        delta=delta or max(1, len(ids) - 1), rng=random.Random(seed)
+    )
+    wire = Wire()
+    sessions = [
+        wire.add(i, procedure, peers=[j for j in ids if j != i]) for i in ids
+    ]
+    for s in sessions:
+        s.begin()
+    wire.deliver_all()
+    return wire.finished, sessions, procedure
+
+
+def test_invalid_delta_rejected():
+    with pytest.raises(ConfigurationError):
+        RandomizedColoring(delta=0, rng=random.Random(0))
+
+
+def test_solo_node_gets_zero():
+    finished, _, _ = run_clique([4][:1])
+    assert finished == {4: 0}
+
+
+def test_pair_gets_distinct_colors():
+    finished, _, _ = run_clique([0, 1])
+    assert len(finished) == 2
+    assert finished[0] != finished[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+)
+def test_clique_always_rainbow(k, seed):
+    """Legality is certain, not probabilistic: cliques end rainbow."""
+    ids = list(range(0, 10 * k, 10))[:k]
+    finished, _, _ = run_clique(ids, seed=seed)
+    assert len(finished) == k
+    values = list(finished.values())
+    assert len(set(values)) == k
+
+
+def test_colors_within_palette_or_fallback_band():
+    ids = [0, 1, 2, 3]
+    finished, sessions, procedure = run_clique(ids, seed=3)
+    for node, color in finished.items():
+        assert 0 <= color < procedure.palette_size + max(ids) + 1
+
+
+def test_fallback_after_round_cap():
+    # max_rounds=0 forces the deterministic fallback immediately.
+    procedure = RandomizedColoring(delta=2, rng=random.Random(0), max_rounds=0)
+    wire = Wire()
+    a = wire.add(3, procedure, peers=(4,))
+    b = wire.add(4, procedure, peers=(3,))
+    a.begin()
+    b.begin()
+    wire.deliver_all()
+    assert wire.finished[3] == procedure.palette_size + 3
+    assert wire.finished[4] == procedure.palette_size + 4
+
+
+def test_round_counts_are_small():
+    finished, sessions, _ = run_clique([0, 1, 2, 3, 4], seed=9)
+    for s in sessions:
+        assert s.rounds_executed <= 10
+
+
+def test_full_algorithm1_with_randomized_coloring():
+    config = ScenarioConfig(
+        positions=line_positions(7, spacing=1.0),
+        algorithm="alg1-random",
+        seed=4,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=250.0)
+    assert result.starved == []
+    for node in range(7):
+        assert result.metrics.counters[node].cs_entries >= 5
+
+
+def test_randomized_is_seed_deterministic():
+    def run(seed):
+        config = ScenarioConfig(
+            positions=line_positions(5, spacing=1.0),
+            algorithm="alg1-random",
+            seed=seed,
+            think_range=(0.5, 2.0),
+        )
+        result = Simulation(config).run(until=100.0)
+        return result.cs_entries, result.messages_sent
+
+    assert run(8) == run(8)

@@ -1,0 +1,75 @@
+"""Scale smoke tests: the library handles 100+ node networks briskly.
+
+These are correctness-at-scale checks, not micro-benchmarks: big
+topologies exercise code paths (wide neighbor sets, long BFS, many
+concurrent hungry nodes) that small fixtures cannot.
+"""
+
+import time
+
+from repro.mobility import RandomWaypoint
+from repro.net.geometry import grid_positions, line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+
+def test_hundred_node_line_alg2():
+    config = ScenarioConfig(
+        positions=line_positions(100, spacing=1.0),
+        algorithm="alg2",
+        seed=1,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    started = time.time()
+    result = sim.run(until=150.0)
+    elapsed = time.time() - started
+    assert result.starved == []
+    assert result.cs_entries > 2000
+    assert elapsed < 30.0, f"100-node run took {elapsed:.1f}s"
+
+
+def test_hundred_node_grid_alg1_linial():
+    config = ScenarioConfig(
+        positions=grid_positions(100, 1.0),
+        radio_range=1.2,
+        algorithm="alg1-linial",
+        seed=2,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=100.0)
+    assert result.starved == []
+    assert result.cs_entries > 1000
+
+
+def test_large_mobile_run_stays_safe():
+    config = ScenarioConfig(
+        positions=grid_positions(64, 1.0),
+        radio_range=1.3,
+        algorithm="alg2",
+        seed=3,
+        think_range=(0.5, 2.0),
+        mobility_factory=lambda i: (
+            RandomWaypoint(8.0, 8.0, speed_range=(0.5, 1.2),
+                           pause_range=(5.0, 15.0))
+            if i % 8 == 0
+            else None
+        ),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=120.0)  # strict safety throughout
+    assert result.cs_entries > 400
+
+
+def test_event_counts_are_sane():
+    """No event-storm pathologies: events per CS entry stay bounded."""
+    config = ScenarioConfig(
+        positions=line_positions(50, spacing=1.0),
+        algorithm="alg2",
+        seed=4,
+        think_range=(0.5, 2.0),
+    )
+    sim = Simulation(config)
+    result = sim.run(until=100.0)
+    events_per_cs = sim.sim.executed_events / max(1, result.cs_entries)
+    assert events_per_cs < 60, f"{events_per_cs:.0f} events per CS entry"

@@ -1,0 +1,71 @@
+"""Tests for the self-organizing Algorithm 1 variant (Chapter 7)."""
+
+import pytest
+
+from repro.core.ablations import Algorithm1SelfOrganizing
+from repro.core.coloring.greedy import GreedyColoring
+from repro.core.states import NodeState
+from repro.mobility import ScriptedMobility, ScriptedMove
+from repro.net.geometry import Point, line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation
+
+from helpers import FakeNode
+
+
+def test_static_endpoint_also_schedules_recoloring():
+    node = FakeNode(1, (0,))
+    alg = Algorithm1SelfOrganizing(
+        node, GreedyColoring(), initial_colors={0: 0, 1: 1, 9: 2}
+    )
+    alg.bootstrap_peer(0)
+    assert not alg.needs_recolor
+    node.set_neighbors((0, 9))
+    alg.on_link_up(9, moving=False)  # we are the static endpoint
+    assert alg.needs_recolor
+
+
+def test_static_endpoint_mid_pipeline_is_not_interrupted():
+    node = FakeNode(1, (0,))
+    alg = Algorithm1SelfOrganizing(
+        node, GreedyColoring(), initial_colors={0: 0, 1: 1}
+    )
+    alg.bootstrap_peer(0)
+    node.set_state(NodeState.HUNGRY)
+    alg.on_hungry()  # precolored: goes straight to the fork doorways
+    node.set_neighbors((0, 9))
+    alg.on_link_up(9, moving=False)
+    # In-flight attempt keeps its standing; the flag is not set now.
+    assert not alg.needs_recolor
+
+
+def test_selforg_recolors_more_than_baseline_under_churn():
+    def run(algorithm):
+        config = ScenarioConfig(
+            positions=line_positions(5, spacing=1.0) + [Point(10.0, 0.0)],
+            algorithm=algorithm,
+            seed=3,
+            think_range=(0.5, 2.0),
+            mobility_factory=lambda i: (
+                ScriptedMobility([
+                    ScriptedMove(20.0, Point(2.0, 0.8)),
+                    ScriptedMove(60.0, Point(10.0, 0.0)),
+                    ScriptedMove(100.0, Point(1.0, 0.8)),
+                ])
+                if i == 5
+                else None
+            ),
+        )
+        sim = Simulation(config)
+        result = sim.run(until=200.0)
+        recolors = sum(
+            sim.algorithm_of(i).recolor_runs for i in range(6)
+        )
+        return recolors, result
+
+    base_recolors, base_result = run("alg1-greedy")
+    org_recolors, org_result = run("alg1-selforg")
+    # The self-organizing variant refreshes the static endpoints too.
+    assert org_recolors > base_recolors
+    # And it remains safe and live.
+    assert org_result.starved == []
+    assert base_result.starved == []

@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventPriority, Simulator, TimeBounds, Timer
+from repro.sim.rng import RandomSource
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_in_priority_then_insertion_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "normal-1")
+    sim.schedule(1.0, order.append, "monitor", priority=EventPriority.MONITOR)
+    sim.schedule(1.0, order.append, "topology", priority=EventPriority.TOPOLOGY)
+    sim.schedule(1.0, order.append, "normal-2")
+    sim.run()
+    assert order == ["topology", "normal-1", "normal-2", "monitor"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.executed_events == 0
+
+
+def test_run_until_deadline_leaves_future_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, order.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def recurse():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, recurse)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_stop_halts_execution():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.pending_events == 1
+
+
+def test_max_events_budget():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run(max_events=4)
+    assert sim.executed_events == 4
+
+
+def test_listener_fires_after_each_event():
+    sim = Simulator()
+    seen = []
+    sim.add_listener(lambda s: seen.append(s.now))
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_listener_can_be_removed():
+    sim = Simulator()
+    seen = []
+    listener = lambda s: seen.append(s.now)  # noqa: E731
+    sim.add_listener(listener)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.remove_listener(listener)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert seen == [1.0]
+
+
+def test_timer_restart_supersedes_previous_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append, "tick")
+    timer.start(1.0)
+    timer.start(3.0)
+    sim.run(until=2.0)
+    assert fired == []
+    assert timer.pending
+    sim.run()
+    assert fired == ["tick"]
+    assert not timer.pending
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, fired.append, "tick")
+    timer.start(1.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_time_bounds_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        TimeBounds(nu=0)
+    with pytest.raises(ConfigurationError):
+        TimeBounds(tau=-1)
+    with pytest.raises(ConfigurationError):
+        TimeBounds(min_delay_fraction=0)
+
+
+def test_time_bounds_delay_draws_within_range():
+    bounds = TimeBounds(nu=2.0, tau=3.0, min_delay_fraction=0.5)
+    rng = RandomSource(7).stream("t")
+    for _ in range(200):
+        d = bounds.draw_message_delay(rng)
+        assert 1.0 <= d <= 2.0
+        e = bounds.draw_eating_time(rng)
+        assert 0 < e <= 3.0
+
+
+def test_time_bounds_deterministic_delay():
+    bounds = TimeBounds(nu=2.0, min_delay_fraction=1.0)
+    rng = RandomSource(7).stream("t")
+    assert bounds.draw_message_delay(rng) == 2.0
+
+
+def test_random_source_streams_are_independent_and_reproducible():
+    a = RandomSource(42)
+    b = RandomSource(42)
+    assert a.stream("x").random() == b.stream("x").random()
+    c = RandomSource(42)
+    d = RandomSource(43)
+    assert c.stream("x").random() != d.stream("x").random()
+    # Distinct names give distinct streams.
+    e = RandomSource(42)
+    assert e.stream("x", 1).random() != e.stream("x", 2).random()
+
+
+def test_random_source_fork_derives_new_seed():
+    root = RandomSource(5)
+    child1 = root.fork("child")
+    child2 = RandomSource(5).fork("child")
+    assert child1.seed == child2.seed
+    assert child1.seed != root.seed

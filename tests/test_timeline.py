@@ -1,0 +1,96 @@
+"""Tests for timeline rendering, concurrency profile and trace export."""
+
+import io
+import json
+
+from repro.analysis.timeline import (
+    concurrency_profile,
+    eating_intervals,
+    export_jsonl,
+    render_timeline,
+)
+from repro.net.geometry import line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation
+from repro.sim.trace import TraceLog
+
+
+def synthetic_trace():
+    trace = TraceLog()
+    trace.record(1.0, "cs.enter", 0)
+    trace.record(2.0, "cs.exit", 0)
+    trace.record(2.5, "cs.enter", 1)
+    trace.record(3.0, "cs.demoted", 1)  # demotion closes the interval
+    trace.record(4.0, "cs.enter", 0)
+    # interval left open: closed at the last record time
+    trace.record(5.0, "app.hungry", 2)
+    return trace
+
+
+def test_eating_intervals_reconstruction():
+    intervals = eating_intervals(synthetic_trace())
+    assert intervals[0] == [(1.0, 2.0), (4.0, 5.0)]
+    assert intervals[1] == [(2.5, 3.0)]
+    assert 2 not in intervals
+
+
+def test_render_timeline_marks_eaters():
+    text = render_timeline(synthetic_trace(), start=0.0, end=5.0, width=10)
+    lines = text.splitlines()
+    assert lines[0].startswith("t = [0.0, 5.0]")
+    row0 = lines[1]
+    assert row0.startswith("p0")
+    assert "#" in row0 and "." in row0
+
+
+def test_render_timeline_handles_empty_trace():
+    text = render_timeline(TraceLog(), width=5)
+    assert "t = [" in text
+
+
+def test_concurrency_profile_counts_parallel_eaters():
+    trace = TraceLog()
+    trace.record(0.0, "cs.enter", 0)
+    trace.record(0.0, "cs.enter", 5)   # far-away node eats in parallel
+    trace.record(2.0, "cs.exit", 0)
+    trace.record(2.0, "cs.exit", 5)
+    profile = concurrency_profile(trace, step=1.0)
+    assert profile[0] == 2
+    assert profile[1] == 2
+    assert profile[2] == 0
+
+
+def test_local_mutex_allows_parallelism_in_real_run():
+    """Global mutex would cap concurrency at 1; local mutex must not."""
+    config = ScenarioConfig(
+        positions=line_positions(12, spacing=1.0),
+        algorithm="alg2",
+        seed=3,
+        think_range=(0.2, 1.0),
+        trace=True,
+    )
+    sim = Simulation(config)
+    sim.run(until=150.0)
+    profile = concurrency_profile(sim.trace, step=0.5)
+    assert max(profile) >= 2, "local mutual exclusion should allow parallelism"
+
+
+def test_export_jsonl_round_trips():
+    trace = TraceLog()
+    trace.record(1.5, "link.up", None, static=1, moving=2)
+    trace.record(2.0, "cs.enter", 3)
+    buffer = io.StringIO()
+    count = export_jsonl(trace, buffer)
+    assert count == 2
+    lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert lines[0]["category"] == "link.up"
+    assert lines[0]["detail"] == {"static": 1, "moving": 2}
+    assert lines[1]["node"] == 3
+
+
+def test_export_jsonl_handles_sets():
+    trace = TraceLog()
+    trace.record(0.0, "x", 1, doors=frozenset({"b", "a"}))
+    buffer = io.StringIO()
+    export_jsonl(trace, buffer)
+    record = json.loads(buffer.getvalue())
+    assert record["detail"]["doors"] == ["a", "b"]
