@@ -1,0 +1,256 @@
+"""Core-pipeline performance benchmarks (PR 1 baseline).
+
+Times the three hot paths the simulation core was rebuilt around:
+
+1. **Topology churn** — grid-indexed vs brute-force `set_position` at
+   n=1000 (the grid must win by ≥5×, and produce identical links);
+2. **Raw event throughput** — the Simulator hot loop, including a
+   cancellation-heavy workload that exercises heap compaction;
+3. **Multi-seed replicate** — serial vs ``workers=4``, asserting the
+   parallel estimates are bit-identical to the serial ones.
+
+Run with ``pytest -m perf benchmarks/test_perf_core.py``.  Setting
+``REPRO_WRITE_BENCH=1`` writes the measurements to ``BENCH_core.json``
+at the repo root so later PRs have a perf trajectory to defend; without
+the env var no file is touched.
+"""
+
+import json
+import math
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.harness.multiseed import DEFAULT_METRICS, replicate
+from repro.net.geometry import Point, grid_positions
+from repro.net.topology import DynamicTopology
+from repro.runtime.simulation import ScenarioConfig
+from repro.sim.engine import Simulator
+
+pytestmark = pytest.mark.perf
+
+_RESULTS = {}
+
+_WRITE_ENV = "REPRO_WRITE_BENCH"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_sink():
+    """Collect per-test measurements; emit BENCH_core.json only on opt-in."""
+    yield
+    if os.environ.get(_WRITE_ENV) and _RESULTS:
+        path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+        path.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# 1. Topology churn: spatial hash vs brute force
+# ---------------------------------------------------------------------------
+
+
+def test_topology_churn_grid_vs_brute(report):
+    n = 1000
+    radio = 2.0
+    arena = 40.0
+    rng = random.Random(1234)
+    positions = [
+        Point(rng.uniform(0, arena), rng.uniform(0, arena)) for _ in range(n)
+    ]
+    moves = []
+    for _ in range(600):
+        node = rng.randrange(n)
+        base = positions[node]
+        target = Point(
+            min(max(base.x + rng.uniform(-radio, radio), 0.0), arena),
+            min(max(base.y + rng.uniform(-radio, radio), 0.0), arena),
+        )
+        moves.append((node, target))
+
+    def build(brute_force):
+        topo = DynamicTopology(radio_range=radio, brute_force=brute_force)
+        for node, pos in enumerate(positions):
+            topo.add_node(node, pos)
+        return topo
+
+    def churn(topo):
+        for node, target in moves:
+            topo.set_position(node, target)
+
+    grid_topo = build(brute_force=False)
+    brute_topo = build(brute_force=True)
+    grid_time = _timed(lambda: churn(grid_topo))
+    brute_time = _timed(lambda: churn(brute_topo))
+    assert grid_topo.links() == brute_topo.links()
+    assert grid_topo.max_degree() == brute_topo.max_degree()
+
+    speedup = brute_time / grid_time if grid_time else math.inf
+    _RESULTS["topology_churn"] = {
+        "n": n,
+        "moves": len(moves),
+        "radio_range": radio,
+        "grid_seconds": round(grid_time, 6),
+        "brute_seconds": round(brute_time, 6),
+        "speedup": round(speedup, 2),
+    }
+    report(
+        f"topology churn n={n}: grid {grid_time:.4f}s, "
+        f"brute {brute_time:.4f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"grid index should beat brute force by >=5x at n={n}, "
+        f"got {speedup:.1f}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. Raw event throughput and cancellation-heavy workloads
+# ---------------------------------------------------------------------------
+
+
+def test_event_throughput(report):
+    n_events = 200_000
+    sim = Simulator()
+
+    def noop():
+        pass
+
+    def schedule_all():
+        for i in range(n_events):
+            sim.schedule_at(float(i % 997), noop)
+
+    schedule_time = _timed(schedule_all)
+    run_time = _timed(sim.run)
+    assert sim.executed_events == n_events
+    throughput = n_events / run_time if run_time else math.inf
+    _RESULTS["event_throughput"] = {
+        "events": n_events,
+        "schedule_seconds": round(schedule_time, 6),
+        "run_seconds": round(run_time, 6),
+        "events_per_second": round(throughput),
+    }
+    report(
+        f"event loop: {n_events} events in {run_time:.4f}s "
+        f"({throughput:,.0f} ev/s)"
+    )
+
+
+def test_cancellation_heavy_throughput(report):
+    """Mass cancellation triggers compaction; pending count stays O(1)."""
+    n_events = 120_000
+    sim = Simulator()
+    handles = [
+        sim.schedule_at(float(i % 89), lambda: None) for i in range(n_events)
+    ]
+
+    def cancel_most():
+        for i, handle in enumerate(handles):
+            if i % 10:
+                handle.cancel()
+
+    cancel_time = _timed(cancel_most)
+    # The live counter keeps this O(1); with n cancellations above it
+    # would be O(n²) under the old scan-the-heap implementation.
+    assert sim.pending_events == n_events // 10
+    run_time = _timed(sim.run)
+    assert sim.executed_events == n_events // 10
+    assert sim.pending_events == 0
+    _RESULTS["cancellation_heavy"] = {
+        "scheduled": n_events,
+        "cancelled": n_events - n_events // 10,
+        "cancel_seconds": round(cancel_time, 6),
+        "drain_seconds": round(run_time, 6),
+    }
+    report(
+        f"cancel-heavy: cancelled {n_events - n_events // 10} in "
+        f"{cancel_time:.4f}s, drained survivors in {run_time:.4f}s"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3. Parallel + cached multi-seed replicate
+# ---------------------------------------------------------------------------
+
+
+def test_replicate_parallel_matches_serial(report, tmp_path):
+    config = ScenarioConfig(
+        positions=grid_positions(64, spacing=1.0),
+        radio_range=1.1,
+        algorithm="alg2",
+        think_range=(0.5, 2.0),
+    )
+    seeds = (1, 2, 3, 4)
+    until = 400.0
+
+    serial_time = [0.0]
+    parallel_time = [0.0]
+    results = {}
+
+    def run_serial():
+        results["serial"] = replicate(
+            config, until=until, seeds=seeds, metrics=DEFAULT_METRICS
+        )
+
+    def run_parallel():
+        results["parallel"] = replicate(
+            config, until=until, seeds=seeds, metrics=DEFAULT_METRICS,
+            workers=4,
+        )
+
+    serial_time[0] = _timed(run_serial)
+    parallel_time[0] = _timed(run_parallel)
+
+    for name in DEFAULT_METRICS:
+        s, p = results["serial"][name], results["parallel"][name]
+        assert s.samples == p.samples
+        assert _same_float(s.mean, p.mean), name
+        assert _same_float(s.half_width, p.half_width), name
+
+    # Warm cache: a re-run served from disk skips every simulation.
+    cached_cold = _timed(
+        lambda: replicate(
+            config, until=until, seeds=seeds, metrics=DEFAULT_METRICS,
+            cache=tmp_path,
+        )
+    )
+    cached_warm = _timed(
+        lambda: replicate(
+            config, until=until, seeds=seeds, metrics=DEFAULT_METRICS,
+            cache=tmp_path,
+        )
+    )
+
+    # On a single-CPU box the pool can only tie the serial path; the
+    # recorded cpu count keeps the baseline interpretable elsewhere.
+    speedup = serial_time[0] / parallel_time[0] if parallel_time[0] else math.inf
+    _RESULTS["replicate"] = {
+        "cpus": os.cpu_count(),
+        "nodes": len(config.positions),
+        "seeds": len(seeds),
+        "until": until,
+        "serial_seconds": round(serial_time[0], 6),
+        "parallel4_seconds": round(parallel_time[0], 6),
+        "parallel4_speedup": round(speedup, 2),
+        "cached_cold_seconds": round(cached_cold, 6),
+        "cached_warm_seconds": round(cached_warm, 6),
+    }
+    report(
+        f"replicate x{len(seeds)} seeds: serial {serial_time[0]:.3f}s, "
+        f"workers=4 {parallel_time[0]:.3f}s ({speedup:.1f}x), "
+        f"warm cache {cached_warm:.4f}s"
+    )
+    assert cached_warm < cached_cold
+
+
+def _same_float(x, y):
+    if math.isnan(x) and math.isnan(y):
+        return True
+    return x == y

@@ -1,0 +1,168 @@
+"""On-disk result cache for scenario runs.
+
+Sweeps and benchmark suites re-run the same (scenario, until, seed)
+triples constantly — across pytest invocations, across notebook
+restarts, across CI retries.  Each completed run's scalar metrics are
+tiny, so caching them by a stable key makes re-running a suite skip
+straight to the aggregation step.
+
+Key scheme
+----------
+
+``scenario_key`` hashes the *declarative serialization* of the scenario
+(:func:`repro.harness.config_io.config_to_dict`), the run horizon, the
+seed and the library version with SHA-256.  Consequences:
+
+* any change to any ``ScenarioConfig`` field changes the key — stale
+  hits are impossible;
+* bumping ``repro.__version__`` invalidates everything, so simulator
+  behavior changes never leak cached results from an older code base;
+* scenarios that cannot be serialized declaratively (callable
+  ``algorithm`` entries, attached ``mobility_factory``) return ``None``
+  and are simply never cached.
+
+Entries live one-JSON-file-per-key under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``).  A corrupted or truncated file is treated as a
+miss and overwritten on the next run — the cache can only ever cost a
+recomputation, never a crash or a wrong number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro import __version__
+from repro.errors import ConfigurationError
+from repro.harness.config_io import config_to_dict
+from repro.runtime.simulation import ScenarioConfig
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def scenario_key(
+    config: ScenarioConfig, until: float, seed: int
+) -> Optional[str]:
+    """Stable cache key for one seeded run, or None if uncacheable.
+
+    Uncacheable means the scenario carries behavior that does not
+    serialize declaratively (a callable algorithm entry or a mobility
+    factory), so no textual key can prove two runs equivalent.
+    """
+    if config.mobility_factory is not None:
+        return None
+    try:
+        payload = config_to_dict(dataclasses.replace(config, seed=seed))
+    except ConfigurationError:
+        return None
+    blob = json.dumps(
+        {"config": payload, "until": until, "version": __version__},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Per-seed metric store, one JSON file per scenario key."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: Optional[str]) -> Optional[Dict[str, float]]:
+        """Cached metric dict for ``key``, or None on miss.
+
+        Any unreadable, corrupted or wrongly-shaped file counts as a
+        miss; the caller re-runs and overwrites it.
+        """
+        if key is None:
+            return None
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            metrics = data["metrics"]
+            result = {str(name): float(value) for name, value in metrics.items()}
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: Optional[str], metrics: Dict[str, float]) -> None:
+        """Store (or extend) the metric dict for ``key``.
+
+        Written atomically (temp file + rename) so a crashed run leaves
+        either the old entry or the new one, never a torn file.
+        """
+        if key is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(
+                {"version": __version__, "metrics": metrics}, sort_keys=True
+            )
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.directory), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(payload)
+                os.replace(tmp, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory must never kill a run.
+            pass
+
+    def clear(self) -> int:
+        """Delete all entries; returns the number removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def resolve_cache(
+    cache: Union[bool, str, Path, ResultCache, None]
+) -> Optional[ResultCache]:
+    """Normalize the ``cache=`` argument accepted by the harness.
+
+    ``None``/``False`` → caching off; ``True`` → default directory;
+    a path → that directory; a :class:`ResultCache` → itself.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -8,8 +8,9 @@ experiments at reduced scale.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import Summary, summarize
 from repro.core.doorway_harness import doorway_entry
@@ -389,7 +390,9 @@ def coloring_offline(procedure, ids: Sequence[int]):
     """
     from repro.core.messages import RecolorNack
 
-    queue: List[Tuple[int, int, object]] = []
+    # A deque: the drain loop below pops from the head per message, and
+    # list.pop(0) would make it O(n²) over the whole coloring run.
+    queue: Deque[Tuple[int, int, object]] = deque()
     finished: Dict[int, int] = {}
     sessions = {}
     for node_id in ids:
@@ -403,7 +406,7 @@ def coloring_offline(procedure, ids: Sequence[int]):
     for session in sessions.values():
         session.begin()
     while queue:
-        src, dst, msg = queue.pop(0)
+        src, dst, msg = queue.popleft()
         target = sessions[dst]
         if isinstance(msg, RecolorNack):
             target.remove_peer(src)

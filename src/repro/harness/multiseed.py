@@ -5,15 +5,43 @@ scenario across seeds and aggregate per-seed scalar metrics into a
 mean with a Student-t confidence interval, which the benchmark suite
 uses for its headline comparisons and which downstream users get for
 free when evaluating their own configurations.
+
+Scaling notes
+-------------
+
+Seeded runs are embarrassingly parallel and bit-deterministic, so
+:func:`replicate` and :func:`sweep` accept ``workers=N`` (a
+``ProcessPoolExecutor`` fan-out) and ``cache=`` (the on-disk store from
+:mod:`repro.harness.cache`).  Results are keyed by seed and assembled
+in input order, so the parallel path returns *exactly* the numbers the
+serial path would — scheduling order never leaks into the estimates —
+and cached seeds are skipped entirely on re-runs.
+
+With ``workers > 1`` the scenario config and every metric function
+cross a process boundary and must be picklable (the module-level
+extractors in :data:`DEFAULT_METRICS` are; ad-hoc lambdas are not).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.harness.cache import ResultCache, resolve_cache, scenario_key
 from repro.runtime.simulation import ScenarioConfig, Simulation, SimulationResult
 
 #: Two-sided 95% Student-t critical values by degrees of freedom (1..30);
@@ -78,25 +106,159 @@ def estimate(values: Sequence[float]) -> Estimate:
 
 MetricFn = Callable[[SimulationResult], float]
 
+CacheArg = Union[bool, str, Path, ResultCache, None]
+
+
+def _run_seed(
+    config: ScenarioConfig,
+    until: float,
+    seed: int,
+    metrics: Dict[str, MetricFn],
+) -> Dict[str, float]:
+    """Execute one seeded run and extract its scalar metrics.
+
+    Module-level so worker processes can unpickle it.
+    """
+    seeded = dataclasses.replace(config, seed=seed)
+    result = Simulation(seeded).run(until=until)
+    return {name: fn(result) for name, fn in metrics.items()}
+
+
+def _collect_samples(
+    jobs: Sequence[Tuple[ScenarioConfig, float, int]],
+    metrics: Dict[str, MetricFn],
+    workers: int,
+    cache: Optional[ResultCache],
+) -> List[Dict[str, float]]:
+    """Metric dicts for each (config, until, seed) job, in job order.
+
+    Cache hits are served without running; misses run serially or on a
+    process pool.  Either way the output is positionally aligned with
+    ``jobs``, so callers see identical numbers regardless of ``workers``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    results: Dict[int, Dict[str, float]] = {}
+    pending: List[Tuple[int, Optional[str], Optional[Dict[str, float]]]] = []
+    for idx, (config, until, seed) in enumerate(jobs):
+        key = scenario_key(config, until, seed) if cache is not None else None
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None and all(name in cached for name in metrics):
+            results[idx] = {name: cached[name] for name in metrics}
+        else:
+            pending.append((idx, key, cached))
+
+    if workers > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (entry, pool.submit(_run_seed, *jobs[entry[0]], metrics))
+                for entry in pending
+            ]
+            computed = [(entry, future.result()) for entry, future in futures]
+    else:
+        computed = [
+            (entry, _run_seed(*jobs[entry[0]], metrics)) for entry in pending
+        ]
+
+    for (idx, key, cached), sample in computed:
+        results[idx] = sample
+        if cache is not None and key is not None:
+            merged = dict(cached or {})
+            merged.update(sample)
+            cache.put(key, merged)
+    return [results[idx] for idx in range(len(jobs))]
+
 
 def replicate(
     config: ScenarioConfig,
     until: float,
     seeds: Sequence[int],
     metrics: Dict[str, MetricFn],
+    *,
+    workers: int = 1,
+    cache: CacheArg = None,
 ) -> Dict[str, Estimate]:
     """Run a scenario under each seed; estimate each scalar metric.
 
     The scenario is rebuilt per seed (``dataclasses.replace``), so all
     stochastic inputs — workload, message jitter, mobility — re-draw.
+
+    Args:
+        workers: processes to fan seeds across (1 = in-process serial).
+            The estimates are identical either way.
+        cache: ``True`` for the default on-disk cache, a directory path,
+            a :class:`~repro.harness.cache.ResultCache`, or ``None``
+            (default) for no caching.
     """
-    samples: Dict[str, List[float]] = {name: [] for name in metrics}
-    for seed in seeds:
-        seeded = dataclasses.replace(config, seed=seed)
-        result = Simulation(seeded).run(until=until)
-        for name, fn in metrics.items():
-            samples[name].append(fn(result))
-    return {name: estimate(values) for name, values in samples.items()}
+    seed_list = list(seeds)
+    store = resolve_cache(cache)
+    samples = _collect_samples(
+        [(config, until, seed) for seed in seed_list], metrics, workers, store
+    )
+    return {
+        name: estimate([sample[name] for sample in samples])
+        for name in metrics
+    }
+
+
+# Parameter sweeps ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a parameter sweep, with its estimates."""
+
+    params: Mapping[str, object]
+    estimates: Dict[str, Estimate]
+
+
+def sweep(
+    config: ScenarioConfig,
+    until: float,
+    seeds: Sequence[int],
+    metrics: Dict[str, MetricFn],
+    grid: Mapping[str, Sequence[object]],
+    *,
+    workers: int = 1,
+    cache: CacheArg = None,
+) -> List[SweepPoint]:
+    """Replicate across the cartesian product of config-field overrides.
+
+    ``grid`` maps :class:`ScenarioConfig` field names to candidate
+    values; each combination is applied to the base config with
+    ``dataclasses.replace`` (build the scenario once, vary parameters
+    cheaply).  All (point, seed) runs are flattened into one job list,
+    so with ``workers > 1`` the pool stays saturated across the whole
+    sweep rather than draining per point.  Points come back in grid
+    order (first field varies slowest).
+    """
+    names = list(grid)
+    combos = list(itertools.product(*(grid[name] for name in names)))
+    seed_list = list(seeds)
+    configs = [
+        dataclasses.replace(config, **dict(zip(names, combo)))
+        for combo in combos
+    ]
+    jobs = [
+        (point_config, until, seed)
+        for point_config in configs
+        for seed in seed_list
+    ]
+    store = resolve_cache(cache)
+    samples = _collect_samples(jobs, metrics, workers, store)
+    points: List[SweepPoint] = []
+    for i, combo in enumerate(combos):
+        block = samples[i * len(seed_list): (i + 1) * len(seed_list)]
+        points.append(
+            SweepPoint(
+                params=dict(zip(names, combo)),
+                estimates={
+                    name: estimate([sample[name] for sample in block])
+                    for name in metrics
+                },
+            )
+        )
+    return points
 
 
 # Ready-made metric extractors ------------------------------------------------

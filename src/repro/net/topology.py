@@ -8,18 +8,45 @@ indications.
 
 The topology also answers graph-distance queries (used to *measure*
 failure locality) and degree statistics (used to report ``delta``).
+
+Scaling notes
+-------------
+
+Membership and movement are served by a **spatial-hash grid** whose
+cell size equals the radio range: a node within range of position
+``p`` must sit in one of the 9 cells surrounding ``p``'s cell, so
+``add_node`` / ``set_position`` / ``remove_node`` examine only local
+candidates instead of every node (O(density) instead of O(n) per
+update).  The original full scan is kept behind ``brute_force=True``
+and the two paths are bit-identical — same links, same ``LinkDiff``
+ordering — which ``tests/test_topology_grid.py`` asserts over
+randomized workloads.
+
+``max_degree`` (the ``delta`` the link layer reports frequently) is
+tracked incrementally through a degree histogram rather than being
+recomputed with a full pass per call.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TopologyError
 from repro.net.geometry import Point
 
 Link = Tuple[int, int]
+
+Cell = Tuple[int, int]
+
+#: Relative slack on the grid cell size.  Cells are fractionally larger
+#: than the radio range so that floating-point rounding in the
+#: coordinate-to-cell division can never push two in-range nodes more
+#: than one cell apart; the exact distance test still decides linkage.
+_CELL_SLACK = 1e-9
 
 
 def link_key(a: int, b: int) -> Link:
@@ -40,14 +67,34 @@ class LinkDiff:
 
 
 class DynamicTopology:
-    """Node positions plus the induced unit-disk communication graph."""
+    """Node positions plus the induced unit-disk communication graph.
 
-    def __init__(self, radio_range: float = 1.0) -> None:
+    Args:
+        radio_range: link distance threshold (inclusive).
+        brute_force: serve updates with the original all-pairs scan
+            instead of the grid index.  Same results, O(n) per update;
+            exists for equivalence testing and benchmarking.
+    """
+
+    def __init__(self, radio_range: float = 1.0, brute_force: bool = False) -> None:
         if radio_range <= 0:
             raise TopologyError(f"radio range must be positive, got {radio_range}")
         self.radio_range = radio_range
+        self.brute_force = brute_force
         self._positions: Dict[int, Point] = {}
         self._adjacency: Dict[int, Set[int]] = {}
+        # Spatial-hash grid (maintained even in brute-force mode so the
+        # flag stays flippable and maintenance stays O(1) per update).
+        self._cell_size = radio_range * (1.0 + _CELL_SLACK)
+        self._grid: Dict[Cell, Set[int]] = {}
+        self._node_cell: Dict[int, Cell] = {}
+        # Insertion ranks reproduce the brute-force scan's dict
+        # iteration order, keeping LinkDiff ordering bit-identical.
+        self._rank: Dict[int, int] = {}
+        self._rank_counter = itertools.count()
+        # Degree histogram: degree -> number of nodes at that degree.
+        self._degree_counts: Dict[int, int] = {}
+        self._max_degree = 0
 
     # ------------------------------------------------------------------
     # Node management
@@ -58,13 +105,14 @@ class DynamicTopology:
             raise TopologyError(f"node {node_id} already exists")
         self._positions[node_id] = position
         self._adjacency[node_id] = set()
+        self._rank[node_id] = next(self._rank_counter)
+        self._grid_insert(node_id, position)
+        self._count_degree(0, +1)
         diff = LinkDiff()
-        for other, other_pos in self._positions.items():
-            if other == node_id:
-                continue
-            if position.distance_to(other_pos) <= self.radio_range:
-                self._adjacency[node_id].add(other)
-                self._adjacency[other].add(node_id)
+        radio = self.radio_range
+        for other in self._scan_candidates(node_id, position):
+            if position.distance_to(self._positions[other]) <= radio:
+                self._link(node_id, other)
                 diff.added.append(link_key(node_id, other))
         return diff
 
@@ -73,10 +121,13 @@ class DynamicTopology:
         self._require(node_id)
         diff = LinkDiff()
         for other in list(self._adjacency[node_id]):
-            self._adjacency[other].discard(node_id)
+            self._unlink(node_id, other)
             diff.removed.append(link_key(node_id, other))
+        self._count_degree(0, -1)
+        self._grid_discard(node_id)
         del self._adjacency[node_id]
         del self._positions[node_id]
+        del self._rank[node_id]
         return diff
 
     def nodes(self) -> List[int]:
@@ -101,19 +152,18 @@ class DynamicTopology:
         """Move a node and return the induced link changes."""
         self._require(node_id)
         self._positions[node_id] = position
+        self._grid_move(node_id, position)
         diff = LinkDiff()
         current = self._adjacency[node_id]
-        for other, other_pos in self._positions.items():
-            if other == node_id:
-                continue
-            in_range = position.distance_to(other_pos) <= self.radio_range
+        radio = self.radio_range
+        positions = self._positions
+        for other in self._scan_candidates(node_id, position, extra=current):
+            in_range = position.distance_to(positions[other]) <= radio
             if in_range and other not in current:
-                current.add(other)
-                self._adjacency[other].add(node_id)
+                self._link(node_id, other)
                 diff.added.append(link_key(node_id, other))
             elif not in_range and other in current:
-                current.discard(other)
-                self._adjacency[other].discard(node_id)
+                self._unlink(node_id, other)
                 diff.removed.append(link_key(node_id, other))
         return diff
 
@@ -144,9 +194,7 @@ class DynamicTopology:
 
     def max_degree(self) -> int:
         """delta — the maximum degree over all nodes (0 if empty)."""
-        if not self._adjacency:
-            return 0
-        return max(len(nbrs) for nbrs in self._adjacency.values())
+        return self._max_degree
 
     def graph_distance(self, source: int, target: int) -> Optional[int]:
         """Hop distance between two nodes, or None if disconnected."""
@@ -200,6 +248,101 @@ class DynamicTopology:
             result.append(component)
             remaining -= component
         return result
+
+    # ------------------------------------------------------------------
+    # Internal: candidate scans
+    # ------------------------------------------------------------------
+    def _scan_candidates(
+        self,
+        node_id: int,
+        position: Point,
+        extra: Iterable[int] = (),
+    ) -> List[int]:
+        """Nodes that could gain or lose a link to ``node_id``.
+
+        Brute-force mode returns every other node; grid mode returns the
+        9 cells around ``position`` plus ``extra`` (current neighbors,
+        which may have fallen outside that window).  Either way the
+        result follows ``_positions`` insertion order, so both paths
+        emit LinkDiff entries in the same order.
+        """
+        if self.brute_force:
+            return [other for other in self._positions if other != node_id]
+        candidates: Set[int] = set(extra)
+        grid = self._grid
+        cx, cy = self._cell_of(position)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                bucket = grid.get((cx + dx, cy + dy))
+                if bucket:
+                    candidates.update(bucket)
+        candidates.discard(node_id)
+        rank = self._rank
+        return sorted(candidates, key=rank.__getitem__)
+
+    # ------------------------------------------------------------------
+    # Internal: grid maintenance
+    # ------------------------------------------------------------------
+    def _cell_of(self, position: Point) -> Cell:
+        size = self._cell_size
+        return (math.floor(position.x / size), math.floor(position.y / size))
+
+    def _grid_insert(self, node_id: int, position: Point) -> None:
+        cell = self._cell_of(position)
+        self._grid.setdefault(cell, set()).add(node_id)
+        self._node_cell[node_id] = cell
+
+    def _grid_discard(self, node_id: int) -> None:
+        cell = self._node_cell.pop(node_id)
+        bucket = self._grid[cell]
+        bucket.discard(node_id)
+        if not bucket:
+            del self._grid[cell]
+
+    def _grid_move(self, node_id: int, position: Point) -> None:
+        new_cell = self._cell_of(position)
+        old_cell = self._node_cell[node_id]
+        if new_cell == old_cell:
+            return
+        bucket = self._grid[old_cell]
+        bucket.discard(node_id)
+        if not bucket:
+            del self._grid[old_cell]
+        self._grid.setdefault(new_cell, set()).add(node_id)
+        self._node_cell[node_id] = new_cell
+
+    # ------------------------------------------------------------------
+    # Internal: adjacency + degree histogram
+    # ------------------------------------------------------------------
+    def _link(self, a: int, b: int) -> None:
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._count_degree(len(self._adjacency[a]) - 1, -1)
+        self._count_degree(len(self._adjacency[a]), +1)
+        self._count_degree(len(self._adjacency[b]) - 1, -1)
+        self._count_degree(len(self._adjacency[b]), +1)
+
+    def _unlink(self, a: int, b: int) -> None:
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+        self._count_degree(len(self._adjacency[a]) + 1, -1)
+        self._count_degree(len(self._adjacency[a]), +1)
+        self._count_degree(len(self._adjacency[b]) + 1, -1)
+        self._count_degree(len(self._adjacency[b]), +1)
+
+    def _count_degree(self, degree: int, delta: int) -> None:
+        counts = self._degree_counts
+        updated = counts.get(degree, 0) + delta
+        if updated:
+            counts[degree] = updated
+        else:
+            counts.pop(degree, None)
+        if delta > 0:
+            if degree > self._max_degree:
+                self._max_degree = degree
+        else:
+            while self._max_degree and self._max_degree not in counts:
+                self._max_degree -= 1
 
     # ------------------------------------------------------------------
     def _require(self, node_id: int) -> None:

@@ -18,6 +18,13 @@ Design notes
   register post-event listeners; they fire after each executed event with
   the engine as argument.  Using listeners rather than wrapping every
   callback keeps protocol code free of instrumentation.
+* **Hot loop.**  Cancellation is lazy (cancelled shells stay in the
+  heap), but the engine keeps a live count of them: ``pending_events``
+  is O(1), and when shells outnumber live events the heap is compacted
+  in place, bounding both memory and pop-side skip work.  Listener
+  dispatch is skipped entirely when no listeners are registered.
+  Compaction and the precomputed event sort key change no observable
+  ordering — execution order stays exactly (time, priority, seq).
 """
 
 from __future__ import annotations
@@ -28,6 +35,9 @@ from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import EventPriority, ScheduledEvent
+
+#: Never bother compacting heaps smaller than this.
+_COMPACT_MIN = 64
 
 
 class Simulator:
@@ -40,6 +50,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._executed_events = 0
+        self._cancelled_in_heap = 0
         self._listeners: List[Callable[["Simulator"], None]] = []
 
     # ------------------------------------------------------------------
@@ -57,8 +68,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still scheduled (including cancelled shells)."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of events still scheduled and not cancelled (O(1))."""
+        return len(self._heap) - self._cancelled_in_heap
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -87,7 +98,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
-        event = ScheduledEvent(time, priority, next(self._seq), callback, tuple(args))
+        event = ScheduledEvent(
+            time, priority, next(self._seq), callback, tuple(args), engine=self
+        )
         heapq.heappush(self._heap, event)
         return event
 
@@ -98,6 +111,22 @@ class Simulator:
     def remove_listener(self, listener: Callable[["Simulator"], None]) -> None:
         """Unregister a previously added observer."""
         self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping (called by ScheduledEvent.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            self._cancelled_in_heap > (len(heap) >> 1)
+            and len(heap) >= _COMPACT_MIN
+        ):
+            # In-place rebuild (slice assignment) so a run() loop holding
+            # a reference to the heap list keeps seeing the live heap.
+            heap[:] = [ev for ev in heap if not ev.cancelled]
+            heapq.heapify(heap)
+            self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -127,27 +156,34 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed_this_call = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
                 if max_events is not None and executed_this_call >= max_events:
                     break
-                event = self._heap[0]
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = event.time
+                # Mark fired up front: a cancel() of the in-flight event
+                # from inside its own callback must stay a no-op and must
+                # not disturb the cancelled-in-heap count.
+                event.cancelled = True
                 event.callback(*event.args)
-                event.cancelled = True  # mark fired; cancel() stays a no-op
                 self._executed_events += 1
                 executed_this_call += 1
-                for listener in self._listeners:
-                    listener(self)
+                if self._listeners:
+                    for listener in self._listeners:
+                        listener(self)
             else:
                 # Queue drained; advance to the deadline if one was given.
                 if until is not None and until > self._now:

@@ -4,12 +4,18 @@ Events at the same virtual time are ordered by an explicit priority class
 and then by insertion order.  Priority classes let the harness guarantee,
 for example, that the safety monitor observes the state *after* all
 protocol handlers scheduled for that instant have run.
+
+:class:`ScheduledEvent` is the single hottest allocation in the library
+(one per message hop, timer and mobility step), so it is slotted and
+carries a precomputed ``(time, priority, seq)`` key — heap comparisons
+reduce to one C-level tuple compare instead of attribute lookups and
+enum coercion per ``__lt__`` call.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 
 class EventPriority(enum.IntEnum):
@@ -33,7 +39,8 @@ class ScheduledEvent:
     user code only ever cancels them or inspects :attr:`time`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "engine", "_key")
 
     def __init__(
         self,
@@ -42,6 +49,7 @@ class ScheduledEvent:
         seq: int,
         callback: Callable[..., None],
         args: Tuple[Any, ...],
+        engine: Optional[Any] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -49,6 +57,10 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Owning simulator, notified on cancel so it can keep a live
+        #: count of dead heap entries (see Simulator.pending_events).
+        self.engine = engine
+        self._key = (time, int(priority), seq)
 
     def cancel(self) -> None:
         """Prevent the callback from running.
@@ -56,7 +68,12 @@ class ScheduledEvent:
         Cancelling an already-fired or already-cancelled event is a
         harmless no-op, which keeps timer-management code simple.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self.engine
+        if engine is not None:
+            engine._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -65,10 +82,10 @@ class ScheduledEvent:
 
     def sort_key(self) -> Tuple[float, int, int]:
         """Total order used by the engine's heap."""
-        return (self.time, int(self.priority), self.seq)
+        return self._key
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))

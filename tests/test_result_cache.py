@@ -1,0 +1,275 @@
+"""Behavior of the on-disk result cache and the parallel-safe harness.
+
+Covers: key stability, hit/miss accounting, invalidation when any
+``ScenarioConfig`` field changes, corrupted-entry tolerance (a broken
+file is a miss, never a crash), uncacheable scenarios, and that
+``replicate``'s cached / parallel paths reproduce the serial numbers
+exactly.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.harness import multiseed
+from repro.harness.cache import ResultCache, resolve_cache, scenario_key
+from repro.harness.multiseed import DEFAULT_METRICS, replicate, sweep
+from repro.net.geometry import line_positions
+from repro.runtime.simulation import ScenarioConfig
+
+
+def _config(**overrides):
+    base = dict(
+        positions=line_positions(4, spacing=1.0),
+        algorithm="alg2",
+        think_range=(0.5, 2.0),
+        max_entries=2,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+# Key scheme -----------------------------------------------------------------
+
+
+def test_scenario_key_is_stable_and_seed_sensitive():
+    config = _config()
+    assert scenario_key(config, 30.0, 1) == scenario_key(config, 30.0, 1)
+    assert scenario_key(config, 30.0, 1) != scenario_key(config, 30.0, 2)
+    assert scenario_key(config, 30.0, 1) != scenario_key(config, 40.0, 1)
+
+
+def test_scenario_key_changes_when_config_fields_change():
+    config = _config()
+    variants = [
+        _config(radio_range=1.5),
+        _config(algorithm="chandy-misra"),
+        _config(think_range=(1.0, 3.0)),
+        _config(max_entries=3),
+        _config(crashes=[(5.0, 1)]),
+    ]
+    base_key = scenario_key(config, 30.0, 1)
+    for variant in variants:
+        assert scenario_key(variant, 30.0, 1) != base_key
+
+
+def test_unserializable_scenarios_are_uncacheable():
+    assert scenario_key(_config(algorithm=lambda ctx: None), 30.0, 1) is None
+    assert (
+        scenario_key(_config(mobility_factory=lambda nid: None), 30.0, 1)
+        is None
+    )
+
+
+# Store behavior --------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = scenario_key(_config(), 30.0, 1)
+    assert cache.get(key) is None
+    cache.put(key, {"throughput": 0.25})
+    assert cache.get(key) == {"throughput": 0.25}
+    assert cache.misses == 1
+    assert cache.hits == 1
+
+
+def test_cache_none_key_is_inert(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(None, {"x": 1.0})
+    assert cache.get(None) is None
+    assert list(tmp_path.iterdir()) == []
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "",  # empty file
+        "{not json",  # syntax error
+        '{"wrong": "shape"}',  # missing metrics
+        '{"metrics": [1, 2]}',  # metrics not a dict
+        '{"metrics": {"m": "NaN-ish-garbage"}}',  # non-float value
+    ],
+)
+def test_corrupted_cache_entry_is_a_miss(tmp_path, payload):
+    cache = ResultCache(tmp_path)
+    key = scenario_key(_config(), 30.0, 1)
+    cache.path_for(key).write_text(payload)
+    assert cache.get(key) is None
+    # And a subsequent put repairs the entry.
+    cache.put(key, {"m": 1.5})
+    assert cache.get(key) == {"m": 1.5}
+
+
+def test_cache_round_trips_nan(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("deadbeef", {"m": float("nan")})
+    restored = cache.get("deadbeef")
+    assert restored is not None and math.isnan(restored["m"])
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k1", {"m": 1.0})
+    cache.put("k2", {"m": 2.0})
+    assert cache.clear() == 2
+    assert cache.get("k1") is None
+
+
+def test_resolve_cache_forms(tmp_path):
+    assert resolve_cache(None) is None
+    assert resolve_cache(False) is None
+    assert resolve_cache(tmp_path).directory == tmp_path
+    cache = ResultCache(tmp_path)
+    assert resolve_cache(cache) is cache
+    monkey_default = resolve_cache(True)
+    assert isinstance(monkey_default, ResultCache)
+
+
+def test_default_dir_honors_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    assert resolve_cache(True).directory == tmp_path / "alt"
+
+
+# Harness integration ---------------------------------------------------------
+
+
+def _counting_run_seed(monkeypatch):
+    calls = []
+    real = multiseed._run_seed
+
+    def wrapper(config, until, seed, metrics):
+        calls.append(seed)
+        return real(config, until, seed, metrics)
+
+    monkeypatch.setattr(multiseed, "_run_seed", wrapper)
+    return calls
+
+
+def test_replicate_cache_skips_completed_seeds(tmp_path, monkeypatch):
+    calls = _counting_run_seed(monkeypatch)
+    config = _config()
+    first = replicate(
+        config, until=30.0, seeds=(1, 2), metrics=DEFAULT_METRICS,
+        cache=tmp_path,
+    )
+    assert calls == [1, 2]
+    second = replicate(
+        config, until=30.0, seeds=(1, 2), metrics=DEFAULT_METRICS,
+        cache=tmp_path,
+    )
+    assert calls == [1, 2], "second run should be served from cache"
+    for name in DEFAULT_METRICS:
+        assert _estimates_equal(first[name], second[name])
+    # A new seed triggers exactly one extra run.
+    replicate(
+        config, until=30.0, seeds=(1, 2, 3), metrics=DEFAULT_METRICS,
+        cache=tmp_path,
+    )
+    assert calls == [1, 2, 3]
+
+
+def test_replicate_cache_invalidates_on_config_change(tmp_path, monkeypatch):
+    calls = _counting_run_seed(monkeypatch)
+    replicate(
+        _config(), until=30.0, seeds=(1,), metrics=DEFAULT_METRICS,
+        cache=tmp_path,
+    )
+    replicate(
+        _config(think_range=(1.0, 4.0)), until=30.0, seeds=(1,),
+        metrics=DEFAULT_METRICS, cache=tmp_path,
+    )
+    assert calls == [1, 1]
+
+
+def test_replicate_cached_equals_uncached(tmp_path):
+    config = _config()
+    cached = replicate(
+        config, until=30.0, seeds=(1, 2), metrics=DEFAULT_METRICS,
+        cache=tmp_path,
+    )
+    recached = replicate(
+        config, until=30.0, seeds=(1, 2), metrics=DEFAULT_METRICS,
+        cache=tmp_path,
+    )
+    plain = replicate(config, until=30.0, seeds=(1, 2), metrics=DEFAULT_METRICS)
+    for name in DEFAULT_METRICS:
+        assert _estimates_equal(cached[name], plain[name])
+        assert _estimates_equal(recached[name], plain[name])
+
+
+def test_replicate_corrupted_cache_recovers(tmp_path):
+    config = _config()
+    cache = ResultCache(tmp_path)
+    replicate(config, until=30.0, seeds=(1,), metrics=DEFAULT_METRICS,
+              cache=cache)
+    key = scenario_key(config, 30.0, 1)
+    cache.path_for(key).write_text("garbage {{{")
+    rerun = replicate(config, until=30.0, seeds=(1,), metrics=DEFAULT_METRICS,
+                      cache=cache)
+    plain = replicate(config, until=30.0, seeds=(1,), metrics=DEFAULT_METRICS)
+    for name in DEFAULT_METRICS:
+        assert _estimates_equal(rerun[name], plain[name])
+    # The entry was rewritten with valid JSON.
+    json.loads(cache.path_for(key).read_text())
+
+
+def test_replicate_workers_matches_serial():
+    config = _config()
+    serial = replicate(config, until=30.0, seeds=(1, 2, 3),
+                       metrics=DEFAULT_METRICS)
+    parallel = replicate(config, until=30.0, seeds=(1, 2, 3),
+                         metrics=DEFAULT_METRICS, workers=2)
+    for name in DEFAULT_METRICS:
+        assert _estimates_equal(serial[name], parallel[name])
+
+
+def test_replicate_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        replicate(_config(), until=10.0, seeds=(1,), metrics=DEFAULT_METRICS,
+                  workers=0)
+
+
+def test_sweep_grid_order_and_cache_reuse(tmp_path, monkeypatch):
+    calls = _counting_run_seed(monkeypatch)
+    points = sweep(
+        _config(),
+        until=30.0,
+        seeds=(1, 2),
+        metrics={"throughput": DEFAULT_METRICS["throughput"]},
+        grid={"radio_range": [1.0, 1.5], "max_entries": [1, 2]},
+        cache=tmp_path,
+    )
+    assert [p.params for p in points] == [
+        {"radio_range": 1.0, "max_entries": 1},
+        {"radio_range": 1.0, "max_entries": 2},
+        {"radio_range": 1.5, "max_entries": 1},
+        {"radio_range": 1.5, "max_entries": 2},
+    ]
+    assert len(calls) == 8
+    for point in points:
+        assert point.estimates["throughput"].samples == 2
+    # The (radio_range=1.0, max_entries=2) point matches a plain
+    # replicate of the same config: sweep adds nothing but plumbing.
+    direct = replicate(
+        _config(radio_range=1.0, max_entries=2), until=30.0, seeds=(1, 2),
+        metrics={"throughput": DEFAULT_METRICS["throughput"]},
+        cache=tmp_path,
+    )
+    assert len(calls) == 8, "sweep results should be reused via the cache"
+    assert _estimates_equal(direct["throughput"], points[1].estimates["throughput"])
+
+
+def _estimates_equal(a, b):
+    return (
+        _float_equal(a.mean, b.mean)
+        and _float_equal(a.half_width, b.half_width)
+        and a.samples == b.samples
+    )
+
+
+def _float_equal(x, y):
+    if math.isnan(x) and math.isnan(y):
+        return True
+    return x == y
