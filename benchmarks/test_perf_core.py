@@ -1,13 +1,16 @@
-"""Core-pipeline performance benchmarks (PR 1 baseline).
+"""Core-pipeline performance benchmarks (PR 1 baseline, PR 2 message plane).
 
-Times the three hot paths the simulation core was rebuilt around:
+Times the hot paths the simulation core was rebuilt around:
 
 1. **Topology churn** — grid-indexed vs brute-force `set_position` at
    n=1000 (the grid must win by ≥5×, and produce identical links);
 2. **Raw event throughput** — the Simulator hot loop, including a
    cancellation-heavy workload that exercises heap compaction;
 3. **Multi-seed replicate** — serial vs ``workers=4``, asserting the
-   parallel estimates are bit-identical to the serial ones.
+   parallel estimates are bit-identical to the serial ones;
+4. **Message plane** — broadcast-flood delivery through the per-link
+   queue fast path vs legacy one-event-per-message scheduling, with the
+   live heap bounded O(links) instead of O(in-flight messages).
 
 Run with ``pytest -m perf benchmarks/test_perf_core.py``.  Setting
 ``REPRO_WRITE_BENCH=1`` writes the measurements to ``BENCH_core.json``
@@ -20,15 +23,20 @@ import math
 import os
 import random
 import time
+from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
 
 from repro.harness.multiseed import DEFAULT_METRICS, replicate
+from repro.net.channel import ChannelLayer
 from repro.net.geometry import Point, grid_positions
+from repro.net.messages import Message
 from repro.net.topology import DynamicTopology
 from repro.runtime.simulation import ScenarioConfig
+from repro.sim.clock import TimeBounds
 from repro.sim.engine import Simulator
+from repro.sim.rng import RandomSource
 
 pytestmark = pytest.mark.perf
 
@@ -189,6 +197,8 @@ def test_replicate_parallel_matches_serial(report, tmp_path):
     )
     seeds = (1, 2, 3, 4)
     until = 400.0
+    workers = 4
+    cpus = os.cpu_count() or 1
 
     serial_time = [0.0]
     parallel_time = [0.0]
@@ -202,7 +212,7 @@ def test_replicate_parallel_matches_serial(report, tmp_path):
     def run_parallel():
         results["parallel"] = replicate(
             config, until=until, seeds=seeds, metrics=DEFAULT_METRICS,
-            workers=4,
+            workers=workers,
         )
 
     serial_time[0] = _timed(run_serial)
@@ -228,26 +238,136 @@ def test_replicate_parallel_matches_serial(report, tmp_path):
         )
     )
 
-    # On a single-CPU box the pool can only tie the serial path; the
-    # recorded cpu count keeps the baseline interpretable elsewhere.
-    speedup = serial_time[0] / parallel_time[0] if parallel_time[0] else math.inf
-    _RESULTS["replicate"] = {
-        "cpus": os.cpu_count(),
+    entry = {
+        "cpus": cpus,
         "nodes": len(config.positions),
         "seeds": len(seeds),
         "until": until,
         "serial_seconds": round(serial_time[0], 6),
-        "parallel4_seconds": round(parallel_time[0], 6),
-        "parallel4_speedup": round(speedup, 2),
         "cached_cold_seconds": round(cached_cold, 6),
         "cached_warm_seconds": round(cached_warm, 6),
     }
-    report(
-        f"replicate x{len(seeds)} seeds: serial {serial_time[0]:.3f}s, "
-        f"workers=4 {parallel_time[0]:.3f}s ({speedup:.1f}x), "
-        f"warm cache {cached_warm:.4f}s"
-    )
+    if cpus < workers:
+        # A pool of 4 on fewer than 4 CPUs measures contention, not
+        # speedup; recording the 0.8x "slowdown" would poison the perf
+        # trajectory.  The bit-identical comparison above still ran.
+        entry["parallel4_seconds"] = None
+        entry["parallel4_speedup"] = None
+        entry["skipped_reason"] = (
+            f"cpu_count {cpus} < workers {workers}: parallel timing "
+            "not meaningful on this box"
+        )
+        report(
+            f"replicate x{len(seeds)} seeds: serial {serial_time[0]:.3f}s, "
+            f"parallel timing skipped ({cpus} CPU), "
+            f"warm cache {cached_warm:.4f}s"
+        )
+    else:
+        speedup = (
+            serial_time[0] / parallel_time[0] if parallel_time[0] else math.inf
+        )
+        entry["parallel4_seconds"] = round(parallel_time[0], 6)
+        entry["parallel4_speedup"] = round(speedup, 2)
+        report(
+            f"replicate x{len(seeds)} seeds: serial {serial_time[0]:.3f}s, "
+            f"workers={workers} {parallel_time[0]:.3f}s ({speedup:.1f}x), "
+            f"warm cache {cached_warm:.4f}s"
+        )
+    _RESULTS["replicate"] = entry
     assert cached_warm < cached_cold
+
+
+# ---------------------------------------------------------------------------
+# 4. Message plane: per-link delivery queues vs per-message events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Flood(Message):
+    round_index: int = 0
+
+
+def _run_flood(per_message: bool, n: int, bursts: int, rounds: int):
+    """Broadcast flood: every node sends ``bursts`` messages to every
+    neighbor in each round.  Returns (wall seconds, delivered count,
+    heap high-water, directed link count)."""
+    sim = Simulator()
+    topo = DynamicTopology(radio_range=1.1)
+    for node, pos in enumerate(grid_positions(n, spacing=1.0)):
+        topo.add_node(node, pos)
+    bounds = TimeBounds(nu=0.5, min_delay_fraction=0.25)
+    delivered = [0]
+
+    def sink(src, dst, message):
+        delivered[0] += 1
+
+    channel = ChannelLayer(
+        sim, topo, bounds, RandomSource(7).stream("c"),
+        deliver=sink, per_message=per_message,
+    )
+
+    def burst(round_index):
+        # ``bursts`` back-to-back broadcasts per node build the per-link
+        # FIFO trains the delivery queues are designed around.
+        for b in range(bursts):
+            message = Flood(round_index * bursts + b)
+            for node in range(n):
+                channel.broadcast(node, topo.sorted_neighbors(node), message)
+
+    for round_index in range(rounds):
+        # Rounds are spaced past nu so each round's traffic fully
+        # drains before the next burst event fires.
+        sim.schedule_at(round_index * 1.0, burst, round_index)
+    elapsed = _timed(sim.run)
+    directed_links = 2 * len(topo.links())
+    assert channel.stats.dropped_link_down == 0
+    return elapsed, delivered[0], sim.heap_high_water, directed_links
+
+
+def test_message_plane_flood_throughput(report):
+    n = 1000
+    bursts = 25
+    rounds = 2
+
+    fast_time, fast_delivered, fast_high_water, directed_links = _run_flood(
+        per_message=False, n=n, bursts=bursts, rounds=rounds
+    )
+    slow_time, slow_delivered, slow_high_water, _ = _run_flood(
+        per_message=True, n=n, bursts=bursts, rounds=rounds
+    )
+    assert fast_delivered == slow_delivered > 0
+
+    fast_throughput = fast_delivered / fast_time if fast_time else math.inf
+    slow_throughput = slow_delivered / slow_time if slow_time else math.inf
+    speedup = fast_throughput / slow_throughput if slow_throughput else math.inf
+
+    _RESULTS["message_plane"] = {
+        "n": n,
+        "directed_links": directed_links,
+        "messages": fast_delivered,
+        "queue_seconds": round(fast_time, 6),
+        "per_message_seconds": round(slow_time, 6),
+        "queue_msgs_per_second": round(fast_throughput),
+        "per_message_msgs_per_second": round(slow_throughput),
+        "speedup": round(speedup, 2),
+        "queue_heap_high_water": fast_high_water,
+        "per_message_heap_high_water": slow_high_water,
+    }
+    report(
+        f"message plane n={n}: queue {fast_time:.3f}s, "
+        f"per-message {slow_time:.3f}s ({speedup:.1f}x), heap high-water "
+        f"{fast_high_water} vs {slow_high_water}"
+    )
+    assert speedup >= 2.0, (
+        f"per-link queues should at least double flood throughput, "
+        f"got {speedup:.2f}x"
+    )
+    # Heap stays O(links): one in-flight event per active directed link
+    # plus the round-burst events, never one event per message.
+    assert fast_high_water <= directed_links + rounds + 64, (
+        f"fast-path heap high-water {fast_high_water} exceeds the "
+        f"O(links) bound ({directed_links} directed links)"
+    )
 
 
 def _same_float(x, y):

@@ -35,7 +35,6 @@ from repro.core.coloring.greedy import GreedyColoring
 from repro.core.doorway import DoorwaySet
 from repro.core.messages import Notification
 from repro.errors import ConfigurationError
-from repro.net.messages import Message
 
 
 class Algorithm2NoNotify(Algorithm2):
@@ -47,10 +46,10 @@ class Algorithm2NoNotify(Algorithm2):
         # Line 2 skipped: neighbors are not warned.
         self.fork_proto.start_collection()
 
-    def on_message(self, src: int, message: Message) -> None:
-        if isinstance(message, Notification):
-            return  # pragma: no cover - nobody sends them in this variant
-        super().on_message(src, message)
+    def _on_notification(self, src: int, message: Notification) -> None:
+        # Dispatch-table override: the @handles mark on the base method
+        # resolves to this no-op, so notifications are dropped.
+        return  # pragma: no cover - nobody sends them in this variant
 
 
 class Algorithm1NoReturnPath(Algorithm1):

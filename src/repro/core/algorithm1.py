@@ -27,6 +27,7 @@ from typing import Dict, Optional, Set
 
 from repro.core.base import LocalMutexAlgorithm, NodeServices
 from repro.core.coloring.session import ColoringProcedure, ColoringSession
+from repro.core.dispatch import MessageDispatchMixin, handles
 from repro.core.doorway import (
     FORK_ASYNC,
     FORK_SYNC,
@@ -37,6 +38,8 @@ from repro.core.doorway import (
 from repro.core.fork_collection import ForkProtocol
 from repro.core.forks import ForkTable
 from repro.core.messages import (
+    DoorwayCross,
+    DoorwayExit,
     ForkGrant,
     ForkRequest,
     Hello,
@@ -48,7 +51,7 @@ from repro.core.states import NodeState
 from repro.net.messages import Message
 
 
-class Algorithm1(LocalMutexAlgorithm):
+class Algorithm1(MessageDispatchMixin, LocalMutexAlgorithm):
     """The first algorithm (Chapters 4-5)."""
 
     name = "alg1"
@@ -226,36 +229,57 @@ class Algorithm1(LocalMutexAlgorithm):
     # Messages
     # ------------------------------------------------------------------
     def on_message(self, src: int, message: Message) -> None:
-        if self.doorways.on_message(src, message):
-            return
-        if isinstance(message, ForkRequest):
-            self.fork_proto.handle_request(src)
-        elif isinstance(message, ForkGrant):
-            self.fork_proto.handle_fork(src, message.flag)
-            self._after_state_change()
-        elif isinstance(message, UpdateColor):
-            self.colors[src] = message.color
-            self.fork_proto.recheck()
-        elif isinstance(message, Hello):
-            self.colors[src] = message.color
-            self.doorways.on_hello(src, message.behind_doorways)
-            self.pending_hellos.discard(src)
-            self._maybe_start_pipeline()
-        elif isinstance(message, RecoloringRound):
-            if self._participating() and src in self.session.peers:
-                self.session.on_peer_message(src, message)
-            else:
-                # Lines 40-43: not participating -> NACK.
-                iteration = getattr(message, "iteration", None)
-                if iteration is None:
-                    iteration = getattr(message, "phase", None)
-                if iteration is None:
-                    iteration = getattr(message, "round_index", 0)
-                self.node.send(src, RecolorNack(iteration))
-        elif isinstance(message, RecolorNack):
-            if self._participating():
-                self.session.remove_peer(src)
         # Unknown kinds are ignored (forward compatibility).
+        self.dispatch_message(src, message)
+
+    @handles(DoorwayCross)
+    def _on_doorway_cross(self, src: int, message: DoorwayCross) -> None:
+        self.doorways.note_cross(src, message.doorway)
+
+    @handles(DoorwayExit)
+    def _on_doorway_exit(self, src: int, message: DoorwayExit) -> None:
+        self.doorways.note_exit(src, message.doorway)
+
+    @handles(ForkRequest)
+    def _on_fork_request(self, src: int, message: ForkRequest) -> None:
+        self.fork_proto.handle_request(src)
+
+    @handles(ForkGrant)
+    def _on_fork_grant(self, src: int, message: ForkGrant) -> None:
+        self.fork_proto.handle_fork(src, message.flag)
+        self._after_state_change()
+
+    @handles(UpdateColor)
+    def _on_update_color(self, src: int, message: UpdateColor) -> None:
+        self.colors[src] = message.color
+        self.fork_proto.recheck()
+
+    @handles(Hello)
+    def _on_hello(self, src: int, message: Hello) -> None:
+        self.colors[src] = message.color
+        self.doorways.on_hello(src, message.behind_doorways)
+        self.pending_hellos.discard(src)
+        self._maybe_start_pipeline()
+
+    @handles(RecoloringRound)
+    def _on_recoloring_round(self, src: int, message: RecoloringRound) -> None:
+        # Registered on the marker base: catches GraphExchange, TempColor
+        # and any future coloring-procedure round message.
+        if self._participating() and src in self.session.peers:
+            self.session.on_peer_message(src, message)
+        else:
+            # Lines 40-43: not participating -> NACK.
+            iteration = getattr(message, "iteration", None)
+            if iteration is None:
+                iteration = getattr(message, "phase", None)
+            if iteration is None:
+                iteration = getattr(message, "round_index", 0)
+            self.node.send(src, RecolorNack(iteration))
+
+    @handles(RecolorNack)
+    def _on_recolor_nack(self, src: int, message: RecolorNack) -> None:
+        if self._participating():
+            self.session.remove_peer(src)
 
     def _after_state_change(self) -> None:
         # A fork receipt may have completed collection for a node whose

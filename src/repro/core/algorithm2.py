@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.dispatch import MessageDispatchMixin, handles
 from repro.core.fork_collection import ForkProtocol
 from repro.core.forks import ForkTable
 from repro.core.messages import ForkGrant, ForkRequest, Notification, Switch
@@ -33,7 +34,7 @@ from repro.core.states import NodeState
 from repro.net.messages import Message
 
 
-class Algorithm2(LocalMutexAlgorithm):
+class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
     """The second algorithm (Algorithms 6 and 7)."""
 
     name = "alg2"
@@ -101,23 +102,32 @@ class Algorithm2(LocalMutexAlgorithm):
     # Messages
     # ------------------------------------------------------------------
     def on_message(self, src: int, message: Message) -> None:
-        if isinstance(message, ForkRequest):
-            self.fork_proto.handle_request(src)
-        elif isinstance(message, ForkGrant):
-            self.fork_proto.handle_fork(src, message.flag)
-        elif isinstance(message, Notification):
-            # Lines 22-25: a thinking node that outranks the requester
-            # steps below all of its neighbors.
-            if (
-                self.node.state is NodeState.THINKING
-                and not self.higher.get(src, False)
-            ):
-                self._switch_below_all()
-        elif isinstance(message, Switch):
-            # Lines 26-27 — plus a progress re-check: the sender just
-            # became our high neighbor, which can complete all-low-forks.
-            self.higher[src] = False
-            self.fork_proto.recheck()
+        self.dispatch_message(src, message)
+
+    @handles(ForkRequest)
+    def _on_fork_request(self, src: int, message: ForkRequest) -> None:
+        self.fork_proto.handle_request(src)
+
+    @handles(ForkGrant)
+    def _on_fork_grant(self, src: int, message: ForkGrant) -> None:
+        self.fork_proto.handle_fork(src, message.flag)
+
+    @handles(Notification)
+    def _on_notification(self, src: int, message: Notification) -> None:
+        # Lines 22-25: a thinking node that outranks the requester
+        # steps below all of its neighbors.
+        if (
+            self.node.state is NodeState.THINKING
+            and not self.higher.get(src, False)
+        ):
+            self._switch_below_all()
+
+    @handles(Switch)
+    def _on_switch(self, src: int, message: Switch) -> None:
+        # Lines 26-27 — plus a progress re-check: the sender just
+        # became our high neighbor, which can complete all-low-forks.
+        self.higher[src] = False
+        self.fork_proto.recheck()
 
     # ------------------------------------------------------------------
     # Link dynamics (Algorithm 7)

@@ -1,0 +1,108 @@
+"""Table-driven protocol message dispatch.
+
+Every protocol handler used to route incoming messages through an
+``isinstance`` if/elif chain — a linear scan of Python-level type
+checks on the hottest upcall in the system.  This module replaces the
+chains with a per-class dispatch table keyed on the *message class*:
+
+* mark handler methods with :func:`handles`::
+
+      class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
+          @handles(ForkRequest)
+          def _on_fork_request(self, src, message):
+              self.fork_proto.handle_request(src)
+
+* :class:`MessageDispatchMixin` assembles ``{message class: function}``
+  per concrete class at definition time, resolving handler *names*
+  through the subclass so ordinary method overriding still works (an
+  ablation overrides ``_on_notification`` and the table picks up the
+  override — no table surgery needed);
+
+* :meth:`~MessageDispatchMixin.dispatch_message` routes one message
+  with a single dict lookup on ``type(message)``.  Messages whose exact
+  class is not in the table fall back to a one-time MRO walk (so a
+  handler registered for a marker base like ``RecoloringRound`` catches
+  every subclass), and the outcome — handler or miss — is cached, so
+  the steady state is always one dict hit.
+
+Unhandled messages are ignored (``dispatch_message`` returns False),
+preserving the forward-compatibility stance of the if/elif chains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, ClassVar, Dict, Type
+
+Handler = Callable[[Any, int, Any], None]
+
+#: Attribute name carrying a handler's message classes (set by @handles).
+_MARK = "__dispatch_handles__"
+
+#: Cache entry meaning "no handler anywhere in this message class's MRO".
+_MISS = None
+
+
+def handles(*message_types: type):
+    """Mark a method as the handler for the given message classes.
+
+    A handler registered for a base class catches all of its subclasses
+    unless a more specific handler exists (closest match in the message
+    class's MRO wins).
+    """
+    if not message_types:
+        raise ValueError("@handles needs at least one message class")
+
+    def mark(fn):
+        setattr(fn, _MARK, message_types)
+        return fn
+
+    return mark
+
+
+class MessageDispatchMixin:
+    """Gives a class a message dispatch table built from @handles marks."""
+
+    _dispatch_table: ClassVar[Dict[type, Handler]]
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        # object.__init_subclass__ rather than zero-arg super(): mixin
+        # users may be re-created (dataclass slots) and cooperative
+        # super() would then hold a stale __class__ cell.
+        object.__init_subclass__(**kwargs)
+        table: Dict[type, Handler] = {}
+        # Base-to-derived scan; getattr(cls, name) resolves each marked
+        # name through the *final* MRO, so overriding a handler method
+        # in a subclass replaces the entry even without re-decorating.
+        for klass in reversed(cls.__mro__):
+            for name, attr in vars(klass).items():
+                if getattr(attr, _MARK, None):
+                    fn = getattr(cls, name)
+                    for mtype in getattr(attr, _MARK):
+                        table[mtype] = fn
+        cls._dispatch_table = table
+
+    def dispatch_message(self, src: int, message: Any) -> bool:
+        """Route one message; True iff a handler consumed it."""
+        table = self._dispatch_table
+        mtype = message.__class__
+        try:
+            handler = table[mtype]
+        except KeyError:
+            handler = self._resolve_handler(mtype)
+        if handler is _MISS:
+            return False
+        handler(self, src, message)
+        return True
+
+    @classmethod
+    def _resolve_handler(cls, mtype: Type) -> Any:
+        """MRO-walk fallback for message classes seen the first time."""
+        table = cls._dispatch_table
+        handler = _MISS
+        for base in mtype.__mro__[1:]:
+            found = table.get(base)
+            if found is not None:
+                handler = found
+                break
+        table[mtype] = handler
+        return handler

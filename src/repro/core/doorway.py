@@ -28,6 +28,7 @@ import enum
 from typing import Callable, Dict, FrozenSet, Iterable, Set
 
 from repro.core.base import NodeServices
+from repro.core.dispatch import MessageDispatchMixin, handles
 from repro.core.messages import DoorwayCross, DoorwayExit
 from repro.errors import ProtocolError
 
@@ -48,7 +49,7 @@ ALL_DOORWAYS = (RECOLOR_ASYNC, RECOLOR_SYNC, FORK_ASYNC, FORK_SYNC)
 SYNC_DOORWAYS = frozenset({RECOLOR_SYNC, FORK_SYNC})
 
 
-class DoorwaySet:
+class DoorwaySet(MessageDispatchMixin):
     """All doorway state of one node.
 
     Args:
@@ -151,21 +152,30 @@ class DoorwaySet:
     # ------------------------------------------------------------------
     # Upcalls from the host algorithm
     # ------------------------------------------------------------------
+    def note_cross(self, src: int, doorway: str) -> None:
+        """Record that ``src`` crossed ``doorway``."""
+        self._L[doorway][src] = Position.CROSS
+
+    def note_exit(self, src: int, doorway: str) -> None:
+        """Record that ``src`` exited ``doorway``; retry pending entries."""
+        self._L[doorway][src] = Position.EXIT
+        if self._waiting[doorway]:
+            if doorway not in self._sync:
+                self._seen_outside[doorway].add(src)
+            self._try_cross(doorway)
+        self._retry_sync_entries()
+
+    @handles(DoorwayCross)
+    def _on_cross_message(self, src: int, message: DoorwayCross) -> None:
+        self.note_cross(src, message.doorway)
+
+    @handles(DoorwayExit)
+    def _on_exit_message(self, src: int, message: DoorwayExit) -> None:
+        self.note_exit(src, message.doorway)
+
     def on_message(self, src: int, message) -> bool:
         """Consume a doorway message; returns True if it was one."""
-        if isinstance(message, DoorwayCross):
-            self._L[message.doorway][src] = Position.CROSS
-            return True
-        if isinstance(message, DoorwayExit):
-            self._L[message.doorway][src] = Position.EXIT
-            doorway = message.doorway
-            if self._waiting[doorway]:
-                if doorway not in self._sync:
-                    self._seen_outside[doorway].add(src)
-                self._try_cross(doorway)
-            self._retry_sync_entries()
-            return True
-        return False
+        return self.dispatch_message(src, message)
 
     def on_link_down(self, peer: int) -> None:
         """Forget a departed neighbor; blocked entries may now complete."""

@@ -19,8 +19,9 @@ safety monitor in non-strict mode.
 from __future__ import annotations
 
 from repro.core.base import LocalMutexAlgorithm, NodeServices
+from repro.core.dispatch import MessageDispatchMixin, handles
 from repro.core.doorway import DoorwaySet
-from repro.core.messages import Hello
+from repro.core.messages import DoorwayCross, DoorwayExit, Hello
 from repro.core.states import NodeState
 from repro.errors import ConfigurationError
 from repro.net.messages import Message
@@ -33,7 +34,7 @@ _OUTER = "A"
 _INNER = "S"
 
 
-class DoorwayAlgorithm(LocalMutexAlgorithm):
+class DoorwayAlgorithm(MessageDispatchMixin, LocalMutexAlgorithm):
     """One node's side of a synthetic doorway-guarded module."""
 
     name = "doorway"
@@ -112,10 +113,19 @@ class DoorwayAlgorithm(LocalMutexAlgorithm):
 
     # ------------------------------------------------------------------
     def on_message(self, src: int, message: Message) -> None:
-        if self.doorways.on_message(src, message):
-            return
-        if isinstance(message, Hello):
-            self.doorways.on_hello(src, message.behind_doorways)
+        self.dispatch_message(src, message)
+
+    @handles(DoorwayCross)
+    def _on_doorway_cross(self, src: int, message: DoorwayCross) -> None:
+        self.doorways.note_cross(src, message.doorway)
+
+    @handles(DoorwayExit)
+    def _on_doorway_exit(self, src: int, message: DoorwayExit) -> None:
+        self.doorways.note_exit(src, message.doorway)
+
+    @handles(Hello)
+    def _on_hello(self, src: int, message: Hello) -> None:
+        self.doorways.on_hello(src, message.behind_doorways)
 
     def on_link_up(self, peer: int, moving: bool) -> None:
         if not moving:

@@ -18,14 +18,14 @@ from repro.net.messages import Message
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoorwayCross(Message):
     """Broadcast when a node crosses (completes the entry code of) a doorway."""
 
     doorway: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoorwayExit(Message):
     """Broadcast when a node exits a doorway."""
 
@@ -37,12 +37,12 @@ class DoorwayExit(Message):
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForkRequest(Message):
     """``req`` — ask the neighbor for the shared fork."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForkGrant(Message):
     """``(fork, flag)`` — hand over the shared fork.
 
@@ -58,14 +58,14 @@ class ForkGrant(Message):
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateColor(Message):
     """``update-color(c)`` — announce the sender's (new) color."""
 
     color: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hello(Message):
     """State transfer to a newly arrived neighbor (Algorithm 3 Line 46).
 
@@ -83,7 +83,7 @@ class Hello(Message):
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoloringRound(Message):
     """Marker base for per-round coloring-procedure messages.
 
@@ -93,7 +93,7 @@ class RecoloringRound(Message):
     """
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GraphExchange(RecoloringRound):
     """One greedy-coloring round: the sender's edge set G (Algorithm 4).
 
@@ -107,7 +107,7 @@ class GraphExchange(RecoloringRound):
     finished: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TempColor(RecoloringRound):
     """One Linial-coloring round: the sender's temporary color (Algorithm 5)."""
 
@@ -115,7 +115,7 @@ class TempColor(RecoloringRound):
     value: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecolorNack(Message):
     """NACK sent by a node not participating in recoloring (Lines 40-43).
 
@@ -131,11 +131,11 @@ class RecolorNack(Message):
 # ----------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Notification(Message):
     """``notification`` — sent to all neighbors upon becoming hungry."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Switch(Message):
     """``switch`` — the sender lowers its priority below the receiver."""

@@ -12,7 +12,7 @@ from repro.net.linklayer import LinkLayer
 from repro.net.topology import DynamicTopology
 from repro.sim.engine import Simulator
 from repro.sim.events import EventPriority
-from repro.sim.trace import TraceLog
+from repro.sim.trace import TraceLog, live_trace
 
 
 @dataclass(frozen=True)
@@ -72,7 +72,7 @@ class MobilityController:
         self._linklayer = linklayer
         self._rng_source = rng_source
         self._step_length = step_length
-        self._trace = trace
+        self._trace = live_trace(trace)
         self._models: Dict[int, MobilityModel] = {}
         self._started = False
 

@@ -24,7 +24,7 @@ from repro.net.channel import ChannelLayer
 from repro.net.messages import Message
 from repro.net.topology import DynamicTopology, LinkDiff
 from repro.sim.engine import Simulator
-from repro.sim.trace import TraceLog
+from repro.sim.trace import TraceLog, live_trace
 
 
 class NodeHandler(Protocol):
@@ -48,7 +48,7 @@ class LinkLayer:
     ) -> None:
         self._sim = sim
         self._topology = topology
-        self._trace = trace
+        self._trace = live_trace(trace)
         self._handlers: Dict[int, NodeHandler] = {}
         self._moving: Set[int] = set()
         self._crashed: Set[int] = set()
@@ -156,12 +156,18 @@ class LinkLayer:
         self._channel.send(src, dst, message)
 
     def broadcast(self, src: int, message: Message) -> None:
-        """Send ``message`` to every current neighbor of ``src``."""
+        """Send ``message`` to every current neighbor of ``src``.
+
+        Fan-out uses the topology's cached presorted neighbor tuple, so
+        repeated broadcasts between topology changes never re-sort.
+        """
         if src in self._crashed:
             return
         if self._channel is None:
             raise TopologyError("link layer has no channel bound")
-        self._channel.broadcast(src, self._topology.neighbors(src), message)
+        self._channel.broadcast(
+            src, self._topology.sorted_neighbors(src), message
+        )
 
     def deliver(self, src: int, dst: int, message: Message) -> None:
         """Channel-layer delivery callback."""

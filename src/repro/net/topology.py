@@ -95,6 +95,9 @@ class DynamicTopology:
         # Degree histogram: degree -> number of nodes at that degree.
         self._degree_counts: Dict[int, int] = {}
         self._max_degree = 0
+        # Lazily built ascending neighbor tuples, invalidated per node
+        # on link/unlink; serves broadcast fan-out without re-sorting.
+        self._sorted_neighbors: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Node management
@@ -125,6 +128,7 @@ class DynamicTopology:
             diff.removed.append(link_key(node_id, other))
         self._count_degree(0, -1)
         self._grid_discard(node_id)
+        self._sorted_neighbors.pop(node_id, None)
         del self._adjacency[node_id]
         del self._positions[node_id]
         del self._rank[node_id]
@@ -174,6 +178,20 @@ class DynamicTopology:
         """The current neighbor set of a node."""
         self._require(node_id)
         return frozenset(self._adjacency[node_id])
+
+    def sorted_neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """The current neighbors in ascending id order (cached).
+
+        The broadcast fan-out order of every protocol, served from a
+        per-node cache that link/unlink invalidates — repeated
+        broadcasts between topology changes never re-sort.
+        """
+        cached = self._sorted_neighbors.get(node_id)
+        if cached is None:
+            self._require(node_id)
+            cached = tuple(sorted(self._adjacency[node_id]))
+            self._sorted_neighbors[node_id] = cached
+        return cached
 
     def has_link(self, a: int, b: int) -> bool:
         """True iff nodes a and b are currently neighbors."""
@@ -317,6 +335,8 @@ class DynamicTopology:
     def _link(self, a: int, b: int) -> None:
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
+        self._sorted_neighbors.pop(a, None)
+        self._sorted_neighbors.pop(b, None)
         self._count_degree(len(self._adjacency[a]) - 1, -1)
         self._count_degree(len(self._adjacency[a]), +1)
         self._count_degree(len(self._adjacency[b]) - 1, -1)
@@ -325,6 +345,8 @@ class DynamicTopology:
     def _unlink(self, a: int, b: int) -> None:
         self._adjacency[a].discard(b)
         self._adjacency[b].discard(a)
+        self._sorted_neighbors.pop(a, None)
+        self._sorted_neighbors.pop(b, None)
         self._count_degree(len(self._adjacency[a]) + 1, -1)
         self._count_degree(len(self._adjacency[a]), +1)
         self._count_degree(len(self._adjacency[b]) + 1, -1)

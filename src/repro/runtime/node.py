@@ -18,7 +18,7 @@ from repro.net.messages import Message
 from repro.sim.clock import TimeBounds
 from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
-from repro.sim.trace import TraceLog
+from repro.sim.trace import NULL_TRACE, TraceLog, live_trace
 
 
 class NodeHarness:
@@ -39,7 +39,12 @@ class NodeHarness:
         self._sim = sim
         self._linklayer = linklayer
         self._bounds = bounds
-        self._trace_log = trace
+        # Hot-path handle: None unless tracing is live, so every record
+        # site below is one pointer test when tracing is off (mirroring
+        # the ``self._metrics is not None`` guards).  The full log stays
+        # reachable through the ``trace`` property for algorithm code.
+        self._trace = live_trace(trace)
+        self._trace_log = trace if trace is not None else NULL_TRACE
         self._eat_rng = eat_rng
         self._metrics = metrics
         self._safety = safety
@@ -86,7 +91,8 @@ class NodeHarness:
         """Algorithm grants the critical section."""
         check_transition(self._state, NodeState.EATING)
         self._state = NodeState.EATING
-        self._trace_log.record(self._sim.now, "cs.enter", self.node_id)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, "cs.enter", self.node_id)
         if self._metrics is not None:
             self._metrics.note_eat_start(self.node_id, self._sim.now)
         if self._safety is not None:
@@ -98,7 +104,8 @@ class NodeHarness:
         check_transition(self._state, NodeState.HUNGRY)
         self._eat_timer.cancel()
         self._state = NodeState.HUNGRY
-        self._trace_log.record(self._sim.now, "cs.demoted", self.node_id)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, "cs.demoted", self.node_id)
         if self._metrics is not None:
             self._metrics.note_demotion(self.node_id, self._sim.now)
 
@@ -111,7 +118,8 @@ class NodeHarness:
             return
         check_transition(self._state, NodeState.HUNGRY)
         self._state = NodeState.HUNGRY
-        self._trace_log.record(self._sim.now, "app.hungry", self.node_id)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, "app.hungry", self.node_id)
         if self._metrics is not None:
             self._metrics.note_hungry(self.node_id, self._sim.now)
         assert self.algorithm is not None, "harness not bound to an algorithm"
@@ -126,7 +134,8 @@ class NodeHarness:
         self.algorithm.on_exit_cs()
         check_transition(self._state, NodeState.THINKING)
         self._state = NodeState.THINKING
-        self._trace_log.record(self._sim.now, "cs.exit", self.node_id)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, "cs.exit", self.node_id)
         if self._metrics is not None:
             self._metrics.note_think(self.node_id, self._sim.now)
         if self.on_done_eating is not None:
@@ -160,7 +169,8 @@ class NodeHarness:
         """Silently stop: no further timers, messages or transitions."""
         self.crashed = True
         self._eat_timer.cancel()
-        self._trace_log.record(self._sim.now, "node.crashed", self.node_id)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, "node.crashed", self.node_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -57,6 +57,10 @@ class ScenarioConfig:
     crashes: List[Tuple[float, int]] = field(default_factory=list)
     trace: bool = False
     strict_safety: bool = True
+    #: Use the legacy one-event-per-message channel scheduling instead
+    #: of per-link delivery queues.  Deliveries are identical; exists
+    #: for equivalence testing and benchmarking.
+    channel_per_message: bool = False
     #: Optional pre-assigned legal coloring (alg1 variants / choy-singh).
     initial_colors: Optional[Dict[int, int]] = None
     #: Override the delta the Linial procedure is built for (mobile runs
@@ -112,6 +116,7 @@ class Simulation:
             self.rng.stream("channel"),
             deliver=self.linklayer.deliver,
             trace=self.trace,
+            per_message=config.channel_per_message,
         )
         self.linklayer.bind_channel(self.channel)
 
@@ -219,7 +224,7 @@ class Simulation:
             duration=self.sim.now,
             metrics=self.metrics,
             messages_sent=self.channel.stats.sent,
-            messages_by_kind=self.channel.stats.snapshot(),
+            messages_by_kind=dict(self.channel.stats.sent_by_kind),
             starved=self.metrics.starving(self.sim.now, threshold),
             cs_entries=self.metrics.total_cs_entries(),
         )

@@ -25,13 +25,24 @@ Design notes
   dispatch is skipped entirely when no listeners are registered.
   Compaction and the precomputed event sort key change no observable
   ordering — execution order stays exactly (time, priority, seq).
+* **Fused event batches.**  A callback that owns a pre-ordered stream
+  of future work (the channel layer's per-link delivery queues) can
+  process several logical events inside one scheduled event: it claims
+  an ordering ticket per item up front (:meth:`Simulator.claim_seq`),
+  and at run time keeps consuming items while each item's
+  ``(time, priority, seq)`` key precedes :meth:`next_live_key` and the
+  active deadline, advancing the clock itself via
+  :meth:`advance_clock`.  Execution *order* and timestamps are exactly
+  what per-item scheduling would produce; only the number of heap
+  operations (and hence ``executed_events`` and listener firings)
+  shrinks.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import EventPriority, ScheduledEvent
@@ -51,6 +62,8 @@ class Simulator:
         self._stopped = False
         self._executed_events = 0
         self._cancelled_in_heap = 0
+        self._heap_high_water = 0
+        self._deadline: Optional[float] = None
         self._listeners: List[Callable[["Simulator"], None]] = []
 
     # ------------------------------------------------------------------
@@ -70,6 +83,26 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still scheduled and not cancelled (O(1))."""
         return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def heap_size(self) -> int:
+        """Current heap length, cancelled shells included."""
+        return len(self._heap)
+
+    @property
+    def heap_high_water(self) -> int:
+        """Largest heap length ever reached (shells included)."""
+        return self._heap_high_water
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The ``until`` bound of the active :meth:`run` call, if any."""
+        return self._deadline
+
+    @property
+    def stop_requested(self) -> bool:
+        """True after :meth:`stop`, until the next :meth:`run`."""
+        return self._stopped
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -92,17 +125,71 @@ class Simulator:
         callback: Callable[..., None],
         *args: Any,
         priority: EventPriority = EventPriority.NORMAL,
+        seq: Optional[int] = None,
     ) -> ScheduledEvent:
-        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        """Schedule ``callback(*args)`` at an absolute virtual time.
+
+        ``seq`` lets a caller spend an ordering ticket previously claimed
+        with :meth:`claim_seq` instead of drawing a fresh one, so a
+        deferred scheduling decision (a queued message whose delivery
+        event is created later) keeps the tie-break rank of the moment
+        the work was *created*, not the moment it was scheduled.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: t={time} < now={self._now}"
             )
+        if seq is None:
+            seq = next(self._seq)
         event = ScheduledEvent(
-            time, priority, next(self._seq), callback, tuple(args), engine=self
+            time, priority, seq, callback, tuple(args), engine=self
         )
-        heapq.heappush(self._heap, event)
+        heap = self._heap
+        heapq.heappush(heap, event)
+        if len(heap) > self._heap_high_water:
+            self._heap_high_water = len(heap)
         return event
+
+    def claim_seq(self) -> int:
+        """Reserve the next ordering ticket without scheduling anything.
+
+        Tickets and implicitly drawn sequence numbers come from the same
+        counter, so claiming one per logical event keeps total order
+        across both kinds of scheduling.
+        """
+        return next(self._seq)
+
+    def next_live_key(self) -> Optional[Tuple[float, int, int]]:
+        """Sort key of the earliest non-cancelled scheduled event.
+
+        Pops cancelled shells off the heap top as a side effect (they
+        would be skipped by :meth:`run` anyway).  Returns ``None`` when
+        nothing live remains.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if not event.cancelled:
+                return event.sort_key()
+            heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
+        return None
+
+    def advance_clock(self, time: float) -> None:
+        """Advance ``now`` from inside a fused event batch.
+
+        Only a running callback that has verified (via
+        :meth:`next_live_key` and :attr:`deadline`) that no scheduled
+        event precedes ``time`` may call this; the engine checks
+        monotonicity but trusts the caller on ordering.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance the clock backwards: t={time} < now={self._now}"
+            )
+        if not self._running:
+            raise SimulationError("advance_clock is only valid while running")
+        self._now = time
 
     def add_listener(self, listener: Callable[["Simulator"], None]) -> None:
         """Register a post-event observer (runs after every executed event)."""
@@ -155,6 +242,7 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
+        self._deadline = until
         executed_this_call = 0
         heap = self._heap
         heappop = heapq.heappop
@@ -190,6 +278,7 @@ class Simulator:
                     self._now = until
         finally:
             self._running = False
+            self._deadline = None
         return self._now
 
     def run_until_quiet(self, max_events: int = 10_000_000) -> float:

@@ -7,7 +7,13 @@ latency breakdown for the Figure 5 benchmark.
 
 A trace record is a small immutable tuple of (time, category, node,
 detail dict).  Recording can be disabled wholesale (the default for
-benchmarks) at near-zero cost.
+benchmarks) at truly zero cost: hot paths normalize their trace handle
+with :func:`live_trace` at construction time, hold ``None`` when
+tracing is off, and guard every ``record()`` call with an
+``is not None`` test — so neither the call nor its kwargs dict is ever
+built.  :data:`NULL_TRACE` is the shared do-nothing instance handed to
+code that wants an always-valid :class:`TraceLog` object instead of an
+optional one.
 """
 
 from __future__ import annotations
@@ -96,3 +102,34 @@ class TraceLog:
         """Human-readable rendering of the trace (for debugging)."""
         records = self._records if limit is None else self._records[-limit:]
         return "\n".join(str(rec) for rec in records)
+
+
+class _NullTraceLog(TraceLog):
+    """The shared disabled trace: never records, stays disabled."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, *args: Any, **detail: Any) -> None:
+        return
+
+
+#: Shared sentinel for "no tracing".  Components that expose a TraceLog
+#: attribute return this when built without one, so callers never need
+#: a None check just to *have* a log object; hot paths should instead
+#: normalize with :func:`live_trace` and skip record() calls entirely.
+NULL_TRACE = _NullTraceLog()
+
+
+def live_trace(trace: Optional[TraceLog]) -> Optional[TraceLog]:
+    """Normalize a trace handle for hot-path guards.
+
+    Returns ``trace`` only if it is a real, enabled log; ``None`` for
+    ``None``, :data:`NULL_TRACE` and disabled logs.  Call sites then
+    mirror the ``self._metrics is not None`` idiom: one pointer test
+    decides whether any tracing work (including kwargs construction)
+    happens at all.
+    """
+    if trace is None or not trace.enabled:
+        return None
+    return trace

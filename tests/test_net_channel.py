@@ -108,7 +108,26 @@ def test_stats_by_kind():
     sim.run()
     assert channel.stats.sent == 2
     assert channel.stats.delivered == 2
-    assert channel.stats.snapshot() == {"Ping": 2}
+    assert channel.stats.snapshot() == {
+        "sent": 2,
+        "delivered": 2,
+        "dropped_link_down": 0,
+        "sent_by_kind": {"Ping": 2},
+        "delivered_by_kind": {"Ping": 2},
+        "dropped_by_kind": {},
+    }
+
+
+def test_stats_count_drops_per_kind():
+    sim, topo, channel, sink = build(nu=1.0, jitter=False)
+    channel.send(0, 1, Ping(1))
+    topo.set_position(1, Point(10, 10))
+    channel.link_down(0, 1)
+    sim.run()
+    snap = channel.stats.snapshot()
+    assert snap["dropped_link_down"] == 1
+    assert snap["dropped_by_kind"] == {"Ping": 1}
+    assert snap["delivered_by_kind"] == {}
 
 
 def test_deterministic_delay_mode():
