@@ -10,7 +10,11 @@ Times the hot paths the simulation core was rebuilt around:
    parallel estimates are bit-identical to the serial ones;
 4. **Message plane** — broadcast-flood delivery through the per-link
    queue fast path vs legacy one-event-per-message scheduling, with the
-   live heap bounded O(links) instead of O(in-flight messages).
+   live heap bounded O(links) instead of O(in-flight messages);
+5. **Telemetry** — instrumented-vs-off overhead for the flood and an
+   alg2-line protocol workload, plus the zero-cost-when-off guard
+   against the committed baseline (normalized by a fresh event-loop
+   calibration so cross-machine comparisons stay meaningful).
 
 Run with ``pytest -m perf benchmarks/test_perf_core.py``.  Setting
 ``REPRO_WRITE_BENCH=1`` writes the measurements to ``BENCH_core.json``
@@ -30,10 +34,11 @@ import pytest
 
 from repro.harness.multiseed import DEFAULT_METRICS, replicate
 from repro.net.channel import ChannelLayer
-from repro.net.geometry import Point, grid_positions
+from repro.net.geometry import Point, grid_positions, line_positions
 from repro.net.messages import Message
 from repro.net.topology import DynamicTopology
-from repro.runtime.simulation import ScenarioConfig
+from repro.obs.profiler import EngineProfiler
+from repro.runtime.simulation import ScenarioConfig, Simulation
 from repro.sim.clock import TimeBounds
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomSource
@@ -287,11 +292,14 @@ class Flood(Message):
     round_index: int = 0
 
 
-def _run_flood(per_message: bool, n: int, bursts: int, rounds: int):
+def _run_flood(per_message: bool, n: int, bursts: int, rounds: int,
+               profile: bool = False):
     """Broadcast flood: every node sends ``bursts`` messages to every
     neighbor in each round.  Returns (wall seconds, delivered count,
     heap high-water, directed link count)."""
     sim = Simulator()
+    if profile:
+        sim.attach_profiler(EngineProfiler())
     topo = DynamicTopology(radio_range=1.1)
     for node, pos in enumerate(grid_positions(n, spacing=1.0)):
         topo.add_node(node, pos)
@@ -367,6 +375,192 @@ def test_message_plane_flood_throughput(report):
     assert fast_high_water <= directed_links + rounds + 64, (
         f"fast-path heap high-water {fast_high_water} exceeds the "
         f"O(links) bound ({directed_links} directed links)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 5. Telemetry: instrumented-vs-off overhead, zero-cost-when-off guard
+# ---------------------------------------------------------------------------
+
+
+def _time_alg2_line(telemetry: bool, n: int, until: float, repeats: int = 3):
+    """Best-of-``repeats`` wall time for an alg2 line scenario.
+
+    Returns (seconds, executed events, cs entries); the protocol numbers
+    must be identical across telemetry settings — instrumentation only
+    observes, it never schedules.
+    """
+    best = math.inf
+    events = cs_entries = None
+    for _ in range(repeats):
+        sim = Simulation(ScenarioConfig(
+            positions=line_positions(n, spacing=1.0),
+            radio_range=1.1,
+            algorithm="alg2",
+            think_range=(0.5, 2.0),
+            telemetry=telemetry,
+        ))
+        elapsed = _timed(lambda: sim.run(until=until))
+        stats = sim.sim.stats()
+        result_entries = sim.metrics.total_cs_entries()
+        if events is not None:
+            assert stats["executed_events"] == events
+            assert result_entries == cs_entries
+        events, cs_entries = stats["executed_events"], result_entries
+        best = min(best, elapsed)
+    return best, events, cs_entries
+
+
+def _calibrate_events_per_second(n_events: int = 100_000) -> float:
+    """Throughput of the bare event loop on *this* box, used to turn the
+    committed baseline's numbers into machine-relative expectations."""
+    sim = Simulator()
+
+    def noop():
+        pass
+
+    for i in range(n_events):
+        sim.schedule_at(float(i % 997), noop)
+    run_time = _timed(sim.run)
+    return n_events / run_time if run_time else math.inf
+
+
+def test_telemetry_overhead(report):
+    """Instrumented-vs-off cost of the run telemetry layer.
+
+    Two workloads: the alg2 line (probes + metric registry on the
+    protocol paths) and the broadcast flood with an attached
+    :class:`EngineProfiler` (the only telemetry that touches the raw
+    message plane).  Both instrumented runs must reproduce the
+    uninstrumented protocol numbers exactly.
+    """
+    n, until = 48, 400.0
+    off_time, off_events, off_entries = _time_alg2_line(False, n, until)
+    on_time, on_events, on_entries = _time_alg2_line(True, n, until)
+    assert on_events == off_events
+    assert on_entries == off_entries
+    alg2_overhead = on_time / off_time - 1 if off_time else 0.0
+
+    flood_n, bursts, rounds = 400, 10, 2
+    _run_flood(False, flood_n, bursts, rounds)  # warm-up: first run is cold
+    plain = min(
+        (_run_flood(False, flood_n, bursts, rounds) for _ in range(3)),
+        key=lambda r: r[0],
+    )
+    profiled = min(
+        (_run_flood(False, flood_n, bursts, rounds, profile=True)
+         for _ in range(3)),
+        key=lambda r: r[0],
+    )
+    assert profiled[1] == plain[1] > 0
+    flood_overhead = profiled[0] / plain[0] - 1 if plain[0] else 0.0
+
+    _RESULTS["telemetry"] = {
+        "alg2_line_nodes": n,
+        "alg2_line_until": until,
+        "alg2_line_events": off_events,
+        "alg2_line_off_seconds": round(off_time, 6),
+        "alg2_line_on_seconds": round(on_time, 6),
+        "alg2_line_overhead": round(alg2_overhead, 4),
+        "flood_messages": plain[1],
+        "flood_off_seconds": round(plain[0], 6),
+        "flood_profiled_seconds": round(profiled[0], 6),
+        "flood_profile_overhead": round(flood_overhead, 4),
+    }
+    report(
+        f"telemetry: alg2 line n={n} off {off_time:.4f}s, on {on_time:.4f}s "
+        f"({alg2_overhead:+.1%}); flood profile overhead "
+        f"{flood_overhead:+.1%}"
+    )
+    # Loose sanity bounds — the real zero-cost-when-off contract is the
+    # baseline guard below; instrumented runs just must not blow up.
+    assert on_time < off_time * 2.0, (
+        f"telemetry-on alg2 run {on_time:.4f}s vs off {off_time:.4f}s: "
+        "probe overhead should stay well under 2x"
+    )
+    assert profiled[0] < plain[0] * 3.0
+
+
+def test_telemetry_off_is_structurally_free():
+    """The deterministic half of the zero-cost-when-off guard.
+
+    With telemetry disabled no instrumentation object may exist anywhere
+    on a hot path — every probe/registry/profiler handle must be
+    ``None`` — so the *only* residual cost is one ``is not None``
+    pointer test per site.  This is the check that cannot flake on a
+    noisy box; the wall-clock comparison below is advisory on top.
+    """
+    sim = Simulation(ScenarioConfig(
+        positions=line_positions(6, spacing=1.0),
+        radio_range=1.1,
+        algorithm="alg2",
+    ))
+    assert sim.registry is None
+    assert sim.probes is None
+    assert sim.sim.profiler is None
+    for harness in sim.harnesses.values():
+        assert harness.probes is None
+        algorithm = harness.algorithm
+        assert getattr(algorithm, "_probes", None) is None
+        # Sub-components picked their handle up from the harness too.
+        for attr in vars(algorithm).values():
+            if hasattr(attr, "_probes"):
+                assert attr._probes is None, type(attr).__name__
+
+
+def test_telemetry_off_matches_baseline(report):
+    """Wall-clock half of the guard: telemetry-off flood throughput must
+    stay within 3% of the committed ``BENCH_core.json`` baseline after
+    normalizing for machine speed (bare event-loop throughput measured
+    in the same session vs at baseline time).
+
+    Wall-clock ratios are only meaningful when the box is quiet, so the
+    calibration runs three times around the workload; if its spread
+    exceeds 5% the comparison is recorded but skipped rather than
+    allowed to flake.  The structural guard above always runs.
+    """
+    path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+    if not path.exists():
+        pytest.skip("no BENCH_core.json baseline committed")
+    baseline = json.loads(path.read_text())
+    base_events = baseline.get("event_throughput", {}).get("events_per_second")
+    base_flood = baseline.get("message_plane", {}).get("queue_msgs_per_second")
+    if not base_events or not base_flood:
+        pytest.skip("baseline lacks event_throughput/message_plane sections")
+
+    calibrations = [_calibrate_events_per_second()]
+    flood = min(
+        (_run_flood(per_message=False, n=1000, bursts=25, rounds=2)
+         for _ in range(3)),
+        key=lambda r: r[0],
+    )
+    calibrations.append(_calibrate_events_per_second())
+    calibrations.append(_calibrate_events_per_second())
+    jitter = max(calibrations) / min(calibrations) - 1.0
+    machine = max(calibrations) / base_events
+
+    throughput = flood[1] / flood[0] if flood[0] else math.inf
+    normalized = throughput / machine
+    _RESULTS["telemetry_guard"] = {
+        "machine_factor": round(machine, 4),
+        "calibration_jitter": round(jitter, 4),
+        "flood_msgs_per_second": round(throughput),
+        "flood_normalized_msgs_per_second": round(normalized),
+        "flood_baseline_msgs_per_second": base_flood,
+    }
+    report(
+        f"telemetry-off guard: flood {throughput:,.0f} msg/s, normalized "
+        f"{normalized:,.0f} vs baseline {base_flood:,.0f} "
+        f"(machine {machine:.2f}, jitter {jitter:.1%})"
+    )
+    if jitter > 0.05:
+        pytest.skip(
+            f"calibration jitter {jitter:.1%} > 5%: box too noisy for a "
+            "3% wall-clock bound (numbers recorded above)"
+        )
+    assert normalized >= 0.97 * base_flood, (
+        f"telemetry-off flood regressed: {normalized:,.0f} msg/s "
+        f"(normalized) < 97% of baseline {base_flood:,.0f}"
     )
 
 

@@ -10,15 +10,31 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, TextIO, Tuple
 
+from repro.errors import TraceTruncatedError
 from repro.sim.trace import TraceLog
 
 
-def eating_intervals(trace: TraceLog) -> Dict[int, List[Tuple[float, float]]]:
+def eating_intervals(
+    trace: TraceLog, allow_truncated: bool = False
+) -> Dict[int, List[Tuple[float, float]]]:
     """Per-node [start, end) eating intervals reconstructed from a trace.
 
     An interval still open at the end of the trace is closed at the last
     record's time; demotions close intervals like exits do.
+
+    A capacity-bounded trace that evicted records cannot yield correct
+    intervals (a ``cs.enter`` may be gone while its ``cs.exit``
+    survives), so truncated traces raise
+    :class:`~repro.errors.TraceTruncatedError` unless the caller
+    explicitly accepts a partial reconstruction with
+    ``allow_truncated=True``.
     """
+    if trace.truncated and not allow_truncated:
+        raise TraceTruncatedError(
+            f"trace dropped {trace.dropped} records to its capacity bound; "
+            "eating intervals would be wrong (pass allow_truncated=True "
+            "to reconstruct from the surviving suffix anyway)"
+        )
     intervals: Dict[int, List[Tuple[float, float]]] = {}
     open_since: Dict[int, float] = {}
     last_time = 0.0

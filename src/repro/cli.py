@@ -1,20 +1,28 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro algorithms            # list registered protocols
     python -m repro run ...               # one simulation, summarized
     python -m repro compare ...           # several protocols, one table
     python -m repro locality ...          # crash probe with ASCII strip
+    python -m repro report ...            # inspect / diff RunReport JSON
 
 Topology specs are compact strings: ``line:13``, ``grid:25``,
 ``ring:8``, ``random:20:8x6`` (20 nodes uniform in an 8x6 arena).
+
+``run --report out.json`` saves the run's structured
+:class:`~repro.obs.report.RunReport` (telemetry is switched on
+implicitly so the probe metrics are populated); ``compare --report``
+saves one JSON object keyed by algorithm name.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import summarize
@@ -29,6 +37,7 @@ from repro.net.geometry import (
     random_positions,
     ring_positions,
 )
+from repro.obs.report import RunReport
 from repro.runtime.registry import ALGORITHMS
 from repro.runtime.simulation import ScenarioConfig, Simulation
 from repro.sim.clock import TimeBounds
@@ -107,6 +116,9 @@ def build_config(args, algorithm: Optional[str] = None) -> ScenarioConfig:
         crashes=[parse_crash(c) for c in args.crash],
         delta_override=len(positions) - 1 if args.movers else None,
         mobility_factory=mobility_factory,
+        # A report is only useful with the probe metrics in it.
+        telemetry=bool(getattr(args, "report", None)),
+        watchdog=getattr(args, "watchdog", None),
     )
 
 
@@ -144,16 +156,28 @@ def cmd_run(args, out) -> int:
         title=f"{args.algorithm} on {args.topology} for {args.until} tu "
               f"(seed {args.seed})",
     ) + "\n")
+    for warning in result.watchdog_warnings:
+        out.write(
+            f"warning: node {warning['node']} starving since "
+            f"t={warning['hungry_since']:.1f} "
+            f"(observed t={warning['time']:.1f})\n"
+        )
+    if args.report:
+        path = result.report().save(args.report)
+        out.write(f"report written to {path}\n")
     return 0
 
 
 def cmd_compare(args, out) -> int:
     rows = []
+    reports = {}
     for algorithm in args.algorithms:
         if algorithm not in ALGORITHMS:
             raise ConfigurationError(f"unknown algorithm {algorithm!r}")
         config = build_config(args, algorithm=algorithm)
         result = Simulation(config).run(until=args.until)
+        if args.report:
+            reports[algorithm] = result.report().to_dict()
         s = summarize(result.response_times)
         rows.append([
             algorithm,
@@ -170,7 +194,33 @@ def cmd_compare(args, out) -> int:
         title=f"Comparison on {args.topology}, {args.until} tu (seed "
               f"{args.seed})",
     ) + "\n")
+    if args.report:
+        path = Path(args.report)
+        path.write_text(json.dumps(reports, indent=2, sort_keys=True) + "\n")
+        out.write(f"reports written to {path}\n")
     return 0
+
+
+def cmd_report(args, out) -> int:
+    if len(args.files) > 2:
+        raise ConfigurationError(
+            "report takes one file (summary) or two (diff)"
+        )
+    first = RunReport.load(args.files[0])
+    if len(args.files) == 1:
+        for line in first.summary_lines():
+            out.write(line + "\n")
+        return 0
+    second = RunReport.load(args.files[1])
+    changed = first.diff(second)
+    if not changed:
+        out.write("reports are identical\n")
+        return 0
+    width = max(len(path) for path in changed)
+    for path, (ours, theirs) in changed.items():
+        out.write(f"{path:<{width}}  {ours!r} -> {theirs!r}\n")
+    out.write(f"{len(changed)} leaves differ\n")
+    return 1
 
 
 def cmd_locality(args, out) -> int:
@@ -236,11 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="first K nodes follow random waypoint")
         p.add_argument("--crash", action="append", default=[],
                        metavar="TIME:NODE", help="schedule a crash")
+        p.add_argument("--report", default=None, metavar="OUT.json",
+                       help="write the structured run report "
+                            "(enables telemetry)")
 
     run_parser = sub.add_parser("run", help="run one simulation")
     add_common(run_parser)
     run_parser.add_argument("--algorithm", default="alg2",
                             choices=sorted(ALGORITHMS))
+    run_parser.add_argument(
+        "--watchdog", type=float, default=None, metavar="THRESHOLD",
+        help="warn when a node stays hungry longer than this (virtual time)",
+    )
 
     compare_parser = sub.add_parser("compare", help="compare protocols")
     add_common(compare_parser)
@@ -260,6 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithms", nargs="+",
         default=["alg2", "alg1-linial", "chandy-misra"],
     )
+
+    report_parser = sub.add_parser(
+        "report", help="pretty-print one RunReport JSON, or diff two"
+    )
+    report_parser.add_argument(
+        "files", nargs="+", metavar="REPORT.json",
+        help="one file to summarize, two to diff (exit 1 when they differ)",
+    )
     return parser
 
 
@@ -272,9 +337,13 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "locality": cmd_locality,
+        "report": cmd_report,
     }
     try:
         return handlers[args.command](args, out)
+    except FileNotFoundError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
     except ReproError as exc:
         out.write(f"error: {exc}\n")
         return 2

@@ -93,6 +93,9 @@ class Algorithm1(MessageDispatchMixin, LocalMutexAlgorithm):
         #: Counters for experiments.
         self.recolor_runs = 0
         self.return_paths_taken = 0
+        # Telemetry (None when the run is uninstrumented).
+        self._probes = getattr(node, "probes", None)
+        self._recolor_started: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Bootstrap (initial topology, before the run starts)
@@ -211,12 +214,23 @@ class Algorithm1(MessageDispatchMixin, LocalMutexAlgorithm):
         self.session = self.coloring.create_session(
             self.node_id, peers, self.node.send, self._recolor_finished
         )
+        if self._probes is not None:
+            self._probes.note_recolor_begin()
+            self._recolor_started = self.node.now
+            self.session.probes = self._probes
         self._trace("recolor.begin", peers=len(peers))
         self.session.begin()
 
     def _recolor_finished(self, value: int) -> None:
         self.my_color = -value - 1  # Line 38: strictly negative
         self.needs_recolor = False
+        if self._probes is not None and self.session is not None:
+            started = self._recolor_started
+            self._recolor_started = None
+            self._probes.note_recolor_done(
+                self.session.rounds_executed,
+                self.node.now - (started if started is not None else self.node.now),
+            )
         self.session = None
         self.node.broadcast(UpdateColor(self.my_color))
         self._trace("recolor.done", color=self.my_color)

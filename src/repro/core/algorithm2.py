@@ -49,6 +49,8 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
         self.fork_proto = ForkProtocol(self)
         #: Counter for experiments.
         self.switches_sent = 0
+        # Telemetry (None when the run is uninstrumented).
+        self._probes = getattr(node, "probes", None)
 
     # ------------------------------------------------------------------
     # Bootstrap
@@ -81,22 +83,31 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
     # ------------------------------------------------------------------
     def on_hungry(self) -> None:
         """Lines 1-5: notify everyone, then start collecting."""
+        if self._probes is not None:
+            self._probes.note_notification()
         self.node.broadcast(Notification())
         self.fork_proto.start_collection()
 
     def on_exit_cs(self) -> None:
         """Lines 6-9: lower our priority below all, grant suspensions."""
-        self._switch_below_all()
+        self._switch_below_all("exit_cs")
         self.fork_proto.grant_suspended()
         self.fork_proto.clear_requests()
 
-    def _switch_below_all(self) -> None:
-        """Send ``switch`` to every neighbor we currently outrank."""
+    def _switch_below_all(self, reason: str) -> None:
+        """Send ``switch`` to every neighbor we currently outrank.
+
+        ``reason`` labels the priority flip for telemetry: "exit_cs"
+        (Lines 6-9), "notified" (Lines 22-25) or "link_up" (Lines 45-46).
+        """
+        probes = self._probes
         for peer in sorted(self.node.neighbors()):
             if not self.higher.get(peer, False):
                 self.node.send(peer, Switch())
                 self.higher[peer] = True
                 self.switches_sent += 1
+                if probes is not None:
+                    probes.note_switch(reason)
 
     # ------------------------------------------------------------------
     # Messages
@@ -120,7 +131,7 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
             self.node.state is NodeState.THINKING
             and not self.higher.get(src, False)
         ):
-            self._switch_below_all()
+            self._switch_below_all("notified")
 
     @handles(Switch)
     def _on_switch(self, src: int, message: Switch) -> None:
@@ -144,7 +155,7 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
         self.higher[peer] = True
         if self.node.state is NodeState.EATING:
             self.node.demote_to_hungry()  # Line 44
-        self._switch_below_all()  # Lines 45-46
+        self._switch_below_all("link_up")  # Lines 45-46
         # Resume collection against the new neighborhood (the proof of
         # Theorem 25 restarts the response-time analysis at the move).
         self.fork_proto.recheck()

@@ -56,6 +56,9 @@ class ColoringSession(abc.ABC):
         self._finish_cb = finish
         self.active = False
         self.rounds_executed = 0
+        #: Telemetry probes; Algorithm 1 installs them after
+        #: ``create_session`` (None when the run is uninstrumented).
+        self.probes = None
         self._awaiting: Set[int] = set()
         self._inbox: Dict[int, Deque[Message]] = {}
         self._round_inputs: List[RoundInput] = []
@@ -113,6 +116,8 @@ class ColoringSession(abc.ABC):
             inputs = self._round_inputs
             self._round_inputs = []
             self.rounds_executed += 1
+            if self.probes is not None:
+                self.probes.note_recolor_round()
             self._complete_round(inputs)
 
     # ------------------------------------------------------------------

@@ -77,6 +77,11 @@ class DoorwaySet(MessageDispatchMixin):
         # For asynchronous doorways: neighbors observed outside at least
         # once since the current entry attempt began (sticky).
         self._seen_outside: Dict[str, Set[int]] = {d: set() for d in self._names}
+        # Telemetry: None when the run is uninstrumented (the
+        # live_trace/NULL_TRACE idiom), so every probe site below is one
+        # pointer test.  _crossed_at feeds the time-behind histogram.
+        self._probes = getattr(node, "probes", None)
+        self._crossed_at: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,6 +139,11 @@ class DoorwaySet(MessageDispatchMixin):
         if not self._behind[doorway]:
             return
         self._behind[doorway] = False
+        if self._probes is not None:
+            now = self._node.now
+            self._probes.note_doorway_exit(
+                doorway, now - self._crossed_at.pop(doorway, now)
+            )
         self._node.broadcast(DoorwayExit(doorway))
 
     def exit_all(self) -> None:
@@ -147,6 +157,11 @@ class DoorwaySet(MessageDispatchMixin):
             self._seen_outside[doorway].clear()
             if self._behind[doorway]:
                 self._behind[doorway] = False
+                if self._probes is not None:
+                    now = self._node.now
+                    self._probes.note_doorway_exit(
+                        doorway, now - self._crossed_at.pop(doorway, now)
+                    )
                 self._node.broadcast(DoorwayExit(doorway))
 
     # ------------------------------------------------------------------
@@ -232,5 +247,8 @@ class DoorwaySet(MessageDispatchMixin):
         self._waiting[doorway] = False
         self._seen_outside[doorway].clear()
         self._behind[doorway] = True
+        if self._probes is not None:
+            self._probes.note_doorway_cross(doorway)
+            self._crossed_at[doorway] = self._node.now
         self._node.broadcast(DoorwayCross(doorway))
         self._on_crossed(doorway)

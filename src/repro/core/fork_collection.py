@@ -67,6 +67,11 @@ class ForkProtocol:
         # Dedup of outstanding requests; purely an optimization (the
         # protocol tolerates duplicates) to keep message counts honest.
         self._requested: set = set()
+        # Telemetry (None when the run is uninstrumented).  _requested_at
+        # stamps the request time per peer to feed the request->grant
+        # latency histogram when the fork arrives.
+        self._probes = getattr(host.node, "probes", None)
+        self._requested_at: dict = {}
 
     # ------------------------------------------------------------------
     # Predicates
@@ -132,6 +137,9 @@ class ForkProtocol:
         if peer in self._requested:
             return
         self._requested.add(peer)
+        if self._probes is not None:
+            self._probes.note_fork_request()
+            self._requested_at[peer] = self._host.node.now
         self._host.node.send(peer, ForkRequest())
 
     # ------------------------------------------------------------------
@@ -164,6 +172,12 @@ class ForkProtocol:
         host = self._host
         host.forks.set_holds(src, True)
         self._requested.discard(src)
+        if self._probes is not None:
+            requested_at = self._requested_at.pop(src, None)
+            if requested_at is not None:
+                self._probes.note_fork_grant_latency(
+                    host.node.now - requested_at
+                )
         if not host.collecting():
             # Not competing (thinking, or hungry outside SDf after the
             # return path): honor a want-back immediately rather than
@@ -186,6 +200,8 @@ class ForkProtocol:
     def send_fork(self, peer: int) -> None:
         """Lines 30-32: hand the fork over, with the want-back flag."""
         host = self._host
+        if self._probes is not None:
+            self._probes.note_fork_grant()
         host.node.send(peer, ForkGrant(flag=host.want_back(peer)))
         host.forks.set_holds(peer, False)
         host.forks.suspended.discard(peer)
@@ -212,3 +228,4 @@ class ForkProtocol:
     def forget_peer(self, peer: int) -> None:
         """Link to ``peer`` failed: drop any outstanding request state."""
         self._requested.discard(peer)
+        self._requested_at.pop(peer, None)

@@ -63,6 +63,10 @@ def config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
         "trace": config.trace,
         "strict_safety": config.strict_safety,
         "delta_override": config.delta_override,
+        "telemetry": config.telemetry,
+        "profile": config.profile,
+        "watchdog": config.watchdog,
+        "watchdog_period": config.watchdog_period,
     }
     if config.scripted_hunger is not None:
         data["scripted_hunger"] = {
@@ -136,6 +140,10 @@ def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
             else None
         ),
         delta_override=data.get("delta_override"),
+        telemetry=data.get("telemetry", False),
+        profile=data.get("profile", False),
+        watchdog=data.get("watchdog"),
+        watchdog_period=data.get("watchdog_period", 5.0),
     )
 
 

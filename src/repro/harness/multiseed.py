@@ -109,18 +109,35 @@ MetricFn = Callable[[SimulationResult], float]
 CacheArg = Union[bool, str, Path, ResultCache, None]
 
 
+def _report_name(config: ScenarioConfig, until: float, seed: int) -> str:
+    """Filename stem for one per-seed report: the scenario key when the
+    config serializes, else just the seed (collision-free within one
+    replicate call, which runs a single scenario)."""
+    key = scenario_key(config, until, seed)
+    return key if key is not None else f"seed{seed}"
+
+
 def _run_seed(
     config: ScenarioConfig,
     until: float,
     seed: int,
     metrics: Dict[str, MetricFn],
+    report_dir: Optional[str] = None,
 ) -> Dict[str, float]:
     """Execute one seeded run and extract its scalar metrics.
 
-    Module-level so worker processes can unpickle it.
+    Module-level so worker processes can unpickle it.  With
+    ``report_dir`` set, the run's full :class:`RunReport` is saved as
+    ``<scenario_key>.json`` alongside the scalar extraction.
     """
     seeded = dataclasses.replace(config, seed=seed)
     result = Simulation(seeded).run(until=until)
+    if report_dir is not None:
+        directory = Path(report_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        result.report().save(
+            directory / f"{_report_name(config, until, seed)}.json"
+        )
     return {name: fn(result) for name, fn in metrics.items()}
 
 
@@ -129,12 +146,15 @@ def _collect_samples(
     metrics: Dict[str, MetricFn],
     workers: int,
     cache: Optional[ResultCache],
+    report_dir: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """Metric dicts for each (config, until, seed) job, in job order.
 
     Cache hits are served without running; misses run serially or on a
     process pool.  Either way the output is positionally aligned with
     ``jobs``, so callers see identical numbers regardless of ``workers``.
+    Per-seed reports (``report_dir``) are written only by runs that
+    actually execute — a cache hit skips the run *and* the report.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -148,16 +168,23 @@ def _collect_samples(
         else:
             pending.append((idx, key, cached))
 
+    # Keep the no-report call shape identical to the historical one so
+    # instrumented wrappers around _run_seed (tests, user tooling) only
+    # need the extra argument when reports were requested.
+    extra = (report_dir,) if report_dir is not None else ()
     if workers > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                (entry, pool.submit(_run_seed, *jobs[entry[0]], metrics))
+                (entry, pool.submit(
+                    _run_seed, *jobs[entry[0]], metrics, *extra
+                ))
                 for entry in pending
             ]
             computed = [(entry, future.result()) for entry, future in futures]
     else:
         computed = [
-            (entry, _run_seed(*jobs[entry[0]], metrics)) for entry in pending
+            (entry, _run_seed(*jobs[entry[0]], metrics, *extra))
+            for entry in pending
         ]
 
     for (idx, key, cached), sample in computed:
@@ -177,6 +204,7 @@ def replicate(
     *,
     workers: int = 1,
     cache: CacheArg = None,
+    report_dir: Union[str, Path, None] = None,
 ) -> Dict[str, Estimate]:
     """Run a scenario under each seed; estimate each scalar metric.
 
@@ -189,11 +217,16 @@ def replicate(
         cache: ``True`` for the default on-disk cache, a directory path,
             a :class:`~repro.harness.cache.ResultCache`, or ``None``
             (default) for no caching.
+        report_dir: directory receiving one ``RunReport`` JSON per
+            *executed* seed, named by scenario key.  Cached seeds do not
+            re-run and therefore write no report; clear or bypass the
+            cache to materialize reports for every seed.
     """
     seed_list = list(seeds)
     store = resolve_cache(cache)
     samples = _collect_samples(
-        [(config, until, seed) for seed in seed_list], metrics, workers, store
+        [(config, until, seed) for seed in seed_list], metrics, workers,
+        store, str(report_dir) if report_dir is not None else None,
     )
     return {
         name: estimate([sample[name] for sample in samples])
@@ -221,6 +254,7 @@ def sweep(
     *,
     workers: int = 1,
     cache: CacheArg = None,
+    report_dir: Union[str, Path, None] = None,
 ) -> List[SweepPoint]:
     """Replicate across the cartesian product of config-field overrides.
 
@@ -231,6 +265,10 @@ def sweep(
     so with ``workers > 1`` the pool stays saturated across the whole
     sweep rather than draining per point.  Points come back in grid
     order (first field varies slowest).
+
+    ``report_dir`` behaves as in :func:`replicate`: one ``RunReport``
+    JSON per executed (point, seed) run, named by scenario key so
+    different grid points never collide; cache hits write nothing.
     """
     names = list(grid)
     combos = list(itertools.product(*(grid[name] for name in names)))
@@ -245,7 +283,10 @@ def sweep(
         for seed in seed_list
     ]
     store = resolve_cache(cache)
-    samples = _collect_samples(jobs, metrics, workers, store)
+    samples = _collect_samples(
+        jobs, metrics, workers, store,
+        str(report_dir) if report_dir is not None else None,
+    )
     points: List[SweepPoint] = []
     for i, combo in enumerate(combos):
         block = samples[i * len(seed_list): (i + 1) * len(seed_list)]

@@ -45,6 +45,8 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.samples: List[ResponseSample] = []
         self.counters: Dict[int, NodeCounters] = {}
+        #: node id -> crash time, for nodes that died during the run.
+        self.crashed: Dict[int, float] = {}
         self._hungry_since: Dict[int, float] = {}
         self._after_demotion: Dict[int, bool] = {}
 
@@ -84,6 +86,22 @@ class MetricsCollector:
 
     def note_think(self, node_id: int, time: float) -> None:
         self._node(node_id).cs_completions += 1
+        # The eating interval is over, so any demotion marker from it is
+        # stale; without this, a hungry interval recorded without a
+        # matching note_hungry/note_demotion would inherit the old flag.
+        self._after_demotion.pop(node_id, None)
+
+    def note_crash(self, node_id: int, time: float) -> None:
+        """A node crashed: close out its in-flight measurement state.
+
+        A crashed node is dead, not starving — leaving it in the hungry
+        table would make :meth:`starving` (and the starvation watchdog
+        built on it) report it forever.  The crash time is retained for
+        run reports.
+        """
+        self.crashed[node_id] = time
+        self._hungry_since.pop(node_id, None)
+        self._after_demotion.pop(node_id, None)
 
     # ------------------------------------------------------------------
     # Queries

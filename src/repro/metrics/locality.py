@@ -56,6 +56,24 @@ class LocalityReport:
                 histogram[dist] = histogram.get(dist, 0) + 1
         return dict(sorted(histogram.items()))
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (string keys, so it round-trips JSON)."""
+        return {
+            "crashed": sorted(self.crashed),
+            "distances": {
+                str(node): dist
+                for node, dist in sorted(self.distances.items())
+            },
+            "starved": sorted(self.starved),
+            "progressed": sorted(self.progressed),
+            "starvation_radius": self.starvation_radius,
+            "progress_radius": self.progress_radius,
+            "starved_by_distance": {
+                str(dist): count
+                for dist, count in self.starved_by_distance().items()
+            },
+        }
+
 
 def measure_failure_locality(
     topology: DynamicTopology,

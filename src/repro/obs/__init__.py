@@ -1,0 +1,35 @@
+"""Run telemetry: metric registry, protocol probes, reports, profiling.
+
+The observability layer every later perf/robustness PR reads its
+numbers from.  See ``docs/observability.md`` for the registry idiom,
+the probe catalogue, the report schema and the starvation watchdog.
+"""
+
+from repro.obs.probes import ProtocolProbes, build_probes
+from repro.obs.profiler import EngineProfiler
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    live_registry,
+)
+from repro.obs.report import SCHEMA_VERSION, RunReport
+from repro.obs.watchdog import StarvationWarning, StarvationWatchdog
+
+__all__ = [
+    "Counter",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "ProtocolProbes",
+    "RunReport",
+    "SCHEMA_VERSION",
+    "StarvationWarning",
+    "StarvationWatchdog",
+    "build_probes",
+    "live_registry",
+]

@@ -32,10 +32,12 @@ class CrashInjector:
         sim: Simulator,
         linklayer: LinkLayer,
         harnesses: Dict[int, NodeHarness],
+        metrics=None,
     ) -> None:
         self._sim = sim
         self._linklayer = linklayer
         self._harnesses = harnesses
+        self._metrics = metrics
         self.crashes: List[CrashEvent] = []
 
     def schedule(self, time: float, node_id: int) -> None:
@@ -60,3 +62,5 @@ class CrashInjector:
     def _crash(self, node_id: int) -> None:
         self._linklayer.crash(node_id)
         self._harnesses[node_id].crash()
+        if self._metrics is not None:
+            self._metrics.note_crash(node_id, self._sim.now)

@@ -34,6 +34,7 @@ class NodeHarness:
         eat_rng,
         metrics=None,
         safety=None,
+        probes=None,
     ) -> None:
         self.node_id = node_id
         self._sim = sim
@@ -48,6 +49,11 @@ class NodeHarness:
         self._eat_rng = eat_rng
         self._metrics = metrics
         self._safety = safety
+        #: Shared telemetry probes, or None when the run is
+        #: uninstrumented.  Protocol components pick this up at
+        #: construction time (``getattr(node, "probes", None)``), so
+        #: fakes without the attribute still work.
+        self.probes = probes
         self._state = NodeState.THINKING
         self._eat_timer = Timer(sim, self._finish_eating)
         self.crashed = False

@@ -9,8 +9,9 @@ and runs it.  This is the facade the examples and benchmarks use.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
@@ -21,6 +22,11 @@ from repro.net.channel import ChannelLayer
 from repro.net.geometry import Point
 from repro.net.linklayer import LinkLayer
 from repro.net.topology import DynamicTopology
+from repro.obs.probes import build_probes
+from repro.obs.profiler import EngineProfiler
+from repro.obs.registry import MetricRegistry
+from repro.obs.report import RunReport
+from repro.obs.watchdog import StarvationWatchdog
 from repro.runtime.app import HungerWorkload, ScriptedHunger
 from repro.runtime.failures import CrashInjector
 from repro.runtime.node import NodeHarness
@@ -66,10 +72,26 @@ class ScenarioConfig:
     #: Override the delta the Linial procedure is built for (mobile runs
     #: where degrees can exceed the initial maximum).
     delta_override: Optional[int] = None
+    #: Build the metric registry + protocol probes for this run.  Off by
+    #: default: the protocol hot paths then hold None and pay nothing.
+    telemetry: bool = False
+    #: Attach the wall-clock engine profiler (the run report gains a
+    #: non-deterministic ``profile`` block).
+    profile: bool = False
+    #: Starvation-watchdog threshold in virtual time (None = watchdog
+    #: off).  A node hungry longer than this triggers one structured
+    #: warning per hungry interval.
+    watchdog: Optional[float] = None
+    #: How often the watchdog samples, in virtual time.
+    watchdog_period: float = 5.0
 
     def __post_init__(self) -> None:
         if not self.positions:
             raise ConfigurationError("scenario needs at least one node")
+        if self.watchdog is not None and self.watchdog <= 0:
+            raise ConfigurationError(
+                f"watchdog threshold must be > 0: {self.watchdog}"
+            )
 
 
 @dataclass
@@ -83,6 +105,18 @@ class SimulationResult:
     messages_by_kind: Dict[str, int]
     starved: List[int]
     cs_entries: int
+    #: ``ChannelStats.snapshot()`` at run end.
+    channel: Dict[str, Any] = field(default_factory=dict)
+    #: ``Simulator.stats()`` at run end.
+    engine: Dict[str, Any] = field(default_factory=dict)
+    #: ``MetricRegistry.snapshot()`` — empty when telemetry was off.
+    probes: Dict[str, Any] = field(default_factory=dict)
+    #: Structured starvation warnings (empty when the watchdog was off).
+    watchdog_warnings: List[Dict[str, Any]] = field(default_factory=list)
+    #: Failure-locality summary when the scenario had a crash plan.
+    locality: Optional[Dict[str, Any]] = None
+    #: Wall-clock engine profile when ``config.profile`` was set.
+    profile: Optional[Dict[str, Any]] = None
 
     @property
     def response_times(self) -> List[float]:
@@ -92,6 +126,86 @@ class SimulationResult:
         if self.cs_entries == 0:
             return None
         return self.messages_sent / self.cs_entries
+
+    def report(self) -> RunReport:
+        """This run as a schema-versioned, JSON-ready :class:`RunReport`.
+
+        Everything except the optional ``profile`` block derives from
+        virtual time and deterministic counters, so fixed-seed runs
+        yield bit-identical reports.
+        """
+        # Local import: config_io imports this module for ScenarioConfig.
+        from repro.harness.config_io import config_to_dict
+
+        try:
+            config_dict = config_to_dict(self.config)
+        except ConfigurationError:
+            # Callable algorithm entries don't serialize; keep a stub so
+            # the report still says what ran.
+            config_dict = {
+                "algorithm": getattr(
+                    self.config.algorithm, "__name__",
+                    str(self.config.algorithm),
+                ),
+                "seed": self.config.seed,
+                "nodes": len(self.config.positions),
+            }
+        return RunReport(
+            config=config_dict,
+            duration=self.duration,
+            response=self._response_summary(),
+            nodes=self._node_summary(),
+            channel=dict(self.channel),
+            engine=dict(self.engine),
+            probes=dict(self.probes),
+            starved=list(self.starved),
+            locality=self.locality,
+            warnings=list(self.watchdog_warnings),
+            profile=self.profile,
+        )
+
+    # ------------------------------------------------------------------
+    def _response_summary(self) -> Dict[str, Any]:
+        times = self.metrics.response_times()
+        summary: Dict[str, Any] = {
+            "count": len(times),
+            "cs_entries": self.cs_entries,
+            "after_demotion": sum(
+                1 for s in self.metrics.samples if s.after_demotion
+            ),
+        }
+        if times:
+            ordered = sorted(times)
+            summary["mean"] = statistics.fmean(times)
+            summary["median"] = statistics.median(ordered)
+            summary["p95"] = ordered[
+                min(len(ordered) - 1, int(0.95 * len(ordered)))
+            ]
+            summary["min"] = ordered[0]
+            summary["max"] = ordered[-1]
+            summary["stdev"] = (
+                statistics.pstdev(times) if len(times) > 1 else 0.0
+            )
+        return summary
+
+    def _node_summary(self) -> Dict[str, Any]:
+        per_node = {
+            str(node): {
+                "hungry": c.hungry_count,
+                "cs_entries": c.cs_entries,
+                "cs_completions": c.cs_completions,
+                "demotions": c.demotions,
+            }
+            for node, c in sorted(self.metrics.counters.items())
+        }
+        return {
+            "count": len(self.config.positions),
+            "crashed": {
+                str(node): time
+                for node, time in sorted(self.metrics.crashed.items())
+            },
+            "per_node": per_node,
+        }
 
 
 class Simulation:
@@ -122,6 +236,26 @@ class Simulation:
 
         # --- metrics & monitors -------------------------------------
         self.metrics = MetricsCollector()
+        #: Live registry + probes only when the scenario opted in; every
+        #: component downstream then holds None and pays nothing.
+        self.registry: Optional[MetricRegistry] = (
+            MetricRegistry() if config.telemetry else None
+        )
+        self.probes = build_probes(self.registry)
+        self.watchdog: Optional[StarvationWatchdog] = None
+        if config.watchdog is not None:
+            self.watchdog = StarvationWatchdog(
+                self.sim,
+                self.metrics,
+                threshold=config.watchdog,
+                period=config.watchdog_period,
+                registry=self.registry,
+            )
+            self.watchdog.start()
+        self.profiler: Optional[EngineProfiler] = None
+        if config.profile:
+            self.profiler = EngineProfiler()
+            self.sim.attach_profiler(self.profiler)
         self.harnesses: Dict[int, NodeHarness] = {}
         self.safety = SafetyMonitor(
             self.topology, self.harnesses, strict=config.strict_safety
@@ -154,6 +288,7 @@ class Simulation:
                 eat_rng=self.rng.stream("eating", node_id),
                 metrics=self.metrics,
                 safety=self.safety,
+                probes=self.probes,
             )
             harness.bind(factory(harness))
             self.harnesses[node_id] = harness
@@ -194,7 +329,9 @@ class Simulation:
             self.mobility.start()
 
         # --- failures --------------------------------------------------
-        self.failures = CrashInjector(self.sim, self.linklayer, self.harnesses)
+        self.failures = CrashInjector(
+            self.sim, self.linklayer, self.harnesses, metrics=self.metrics
+        )
         self.failures.schedule_all(config.crashes)
 
     # ------------------------------------------------------------------
@@ -219,6 +356,9 @@ class Simulation:
             if starvation_threshold is not None
             else 0.2 * until
         )
+        locality: Optional[Dict[str, Any]] = None
+        if self.config.crashes:
+            locality = self.locality_report().to_dict()
         return SimulationResult(
             config=self.config,
             duration=self.sim.now,
@@ -227,6 +367,20 @@ class Simulation:
             messages_by_kind=dict(self.channel.stats.sent_by_kind),
             starved=self.metrics.starving(self.sim.now, threshold),
             cs_entries=self.metrics.total_cs_entries(),
+            channel=self.channel.stats.snapshot(),
+            engine=self.sim.stats(),
+            probes=(
+                self.registry.snapshot() if self.registry is not None else {}
+            ),
+            watchdog_warnings=(
+                self.watchdog.warning_dicts()
+                if self.watchdog is not None
+                else []
+            ),
+            locality=locality,
+            profile=(
+                self.profiler.summary() if self.profiler is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------

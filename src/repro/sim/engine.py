@@ -25,6 +25,11 @@ Design notes
   dispatch is skipped entirely when no listeners are registered.
   Compaction and the precomputed event sort key change no observable
   ordering — execution order stays exactly (time, priority, seq).
+* **Profiling.**  :meth:`attach_profiler` installs an optional
+  wall-clock profiler (per-callback-category totals, events/sec
+  samples — see :mod:`repro.obs.profiler`).  The handle is hoisted
+  once per :meth:`run` call, so the unprofiled hot loop pays a single
+  ``is None`` test per event.
 * **Fused event batches.**  A callback that owns a pre-ordered stream
   of future work (the channel layer's per-link delivery queues) can
   process several logical events inside one scheduled event: it claims
@@ -42,7 +47,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import EventPriority, ScheduledEvent
@@ -63,8 +69,13 @@ class Simulator:
         self._executed_events = 0
         self._cancelled_in_heap = 0
         self._heap_high_water = 0
+        self._compactions = 0
         self._deadline: Optional[float] = None
         self._listeners: List[Callable[["Simulator"], None]] = []
+        # Optional wall-clock profiler (see repro.obs.profiler).  The
+        # run loop hoists this once, so the unprofiled cost is one
+        # ``is None`` test per executed event.
+        self._profiler = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -95,9 +106,24 @@ class Simulator:
         return self._heap_high_water
 
     @property
+    def compactions(self) -> int:
+        """How many times the heap was compacted in place."""
+        return self._compactions
+
+    @property
     def deadline(self) -> Optional[float]:
         """The ``until`` bound of the active :meth:`run` call, if any."""
         return self._deadline
+
+    def stats(self) -> Dict[str, object]:
+        """Engine counters as one JSON-ready dict (for run reports)."""
+        return {
+            "executed_events": self._executed_events,
+            "pending_events": self.pending_events,
+            "heap_high_water": self._heap_high_water,
+            "compactions": self._compactions,
+            "now": self._now,
+        }
 
     @property
     def stop_requested(self) -> bool:
@@ -191,6 +217,27 @@ class Simulator:
             raise SimulationError("advance_clock is only valid while running")
         self._now = time
 
+    def attach_profiler(self, profiler) -> None:
+        """Attach a wall-clock profiler (``repro.obs.EngineProfiler``).
+
+        Must be called outside :meth:`run`; the hot loop snapshots the
+        handle once per run call.
+        """
+        if self._running:
+            raise SimulationError("cannot attach a profiler while running")
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        """Remove the attached profiler (if any)."""
+        if self._running:
+            raise SimulationError("cannot detach a profiler while running")
+        self._profiler = None
+
+    @property
+    def profiler(self):
+        """The attached profiler, or ``None``."""
+        return self._profiler
+
     def add_listener(self, listener: Callable[["Simulator"], None]) -> None:
         """Register a post-event observer (runs after every executed event)."""
         self._listeners.append(listener)
@@ -214,6 +261,7 @@ class Simulator:
             heap[:] = [ev for ev in heap if not ev.cancelled]
             heapq.heapify(heap)
             self._cancelled_in_heap = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -246,6 +294,7 @@ class Simulator:
         executed_this_call = 0
         heap = self._heap
         heappop = heapq.heappop
+        profiler = self._profiler
         try:
             while heap:
                 if self._stopped:
@@ -266,7 +315,14 @@ class Simulator:
                 # from inside its own callback must stay a no-op and must
                 # not disturb the cancelled-in-heap count.
                 event.cancelled = True
-                event.callback(*event.args)
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    started = perf_counter()
+                    event.callback(*event.args)
+                    profiler.note(
+                        event.callback, perf_counter() - started, self._now
+                    )
                 self._executed_events += 1
                 executed_this_call += 1
                 if self._listeners:

@@ -44,6 +44,15 @@ class TraceLog:
         self.enabled = enabled
         self._capacity = capacity
         self._records: List[TraceRecord] = []
+        #: Records evicted by the capacity bound.  Analyses that need
+        #: the *whole* run (eating intervals, stage latencies) check
+        #: :attr:`truncated` and refuse to compute from a partial trace.
+        self.dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True iff the capacity bound ever evicted records."""
+        return self.dropped > 0
 
     def record(
         self,
@@ -58,7 +67,9 @@ class TraceLog:
         self._records.append(TraceRecord(time, category, node, detail))
         if self._capacity is not None and len(self._records) > self._capacity:
             # Drop the oldest half in one slice to amortize the cost.
-            del self._records[: len(self._records) // 2]
+            evict = len(self._records) // 2
+            del self._records[:evict]
+            self.dropped += evict
 
     def __len__(self) -> int:
         return len(self._records)
@@ -67,8 +78,9 @@ class TraceLog:
         return iter(self._records)
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records (and reset the truncation counter)."""
         self._records.clear()
+        self.dropped = 0
 
     def select(
         self,

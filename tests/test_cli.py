@@ -98,3 +98,85 @@ def test_unknown_algorithm_is_a_clean_error():
     )
     assert code == 2
     assert "error:" in output
+
+
+# ----------------------------------------------------------------------
+# Run reports
+# ----------------------------------------------------------------------
+
+
+def test_run_report_round_trips(tmp_path):
+    from repro.obs.report import RunReport
+
+    path = tmp_path / "run.json"
+    code, output = run_cli(
+        "run", "--topology", "line:4", "--until", "50",
+        "--algorithm", "alg2", "--report", str(path),
+    )
+    assert code == 0
+    assert str(path) in output
+    report = RunReport.load(path)
+    assert report.config["algorithm"] == "alg2"
+    assert report.probes, "telemetry is implied by --report"
+    assert RunReport.from_json(report.to_json()).to_dict() == report.to_dict()
+
+
+def test_run_watchdog_prints_warnings(tmp_path):
+    code, output = run_cli(
+        "run", "--topology", "line:8", "--until", "300", "--seed", "0",
+        "--algorithm", "alg2", "--crash", "30:4", "--watchdog", "25",
+        "--report", str(tmp_path / "r.json"),
+    )
+    assert code == 0
+    assert "warning: node" in output
+
+
+def test_report_subcommand_summarizes_one_file(tmp_path):
+    path = tmp_path / "run.json"
+    run_cli("run", "--topology", "line:4", "--until", "40",
+            "--algorithm", "alg2", "--report", str(path))
+    code, output = run_cli("report", str(path))
+    assert code == 0
+    assert "schema v" in output
+    assert "cs entries" in output
+
+
+def test_report_subcommand_diffs_two_files(tmp_path):
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    run_cli("run", "--topology", "line:4", "--until", "40", "--seed", "1",
+            "--algorithm", "alg2", "--report", str(a))
+    run_cli("run", "--topology", "line:4", "--until", "40", "--seed", "2",
+            "--algorithm", "alg2", "--report", str(b))
+
+    code, output = run_cli("report", str(a), str(a))
+    assert code == 0 and "identical" in output
+
+    code, output = run_cli("report", str(a), str(b))
+    assert code == 1
+    assert "leaves differ" in output
+    assert "config.seed" in output
+
+
+def test_report_subcommand_rejects_three_files(tmp_path):
+    code, output = run_cli("report", "x.json", "y.json", "z.json")
+    assert code == 2 and "error:" in output
+
+
+def test_report_subcommand_missing_file_is_clean_error(tmp_path):
+    code, output = run_cli("report", str(tmp_path / "nope.json"))
+    assert code == 2 and "error:" in output
+
+
+def test_compare_report_keyed_by_algorithm(tmp_path):
+    import json as json_mod
+
+    path = tmp_path / "cmp.json"
+    code, output = run_cli(
+        "compare", "--topology", "line:4", "--until", "40",
+        "--algorithms", "alg2", "oracle", "--report", str(path),
+    )
+    assert code == 0
+    data = json_mod.loads(path.read_text())
+    assert set(data) == {"alg2", "oracle"}
+    for payload in data.values():
+        assert payload["schema_version"] >= 1

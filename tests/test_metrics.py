@@ -148,3 +148,38 @@ def test_locality_report_crashed_nodes_excluded():
         topo, crashed=[1], hungry_after_crash=[1, 2], ate_after_crash=[]
     )
     assert report.starved == [2]
+
+
+def test_think_clears_demotion_flag_for_the_next_episode():
+    m = MetricsCollector()
+    m.note_hungry(1, 0.0)
+    m.note_eat_start(1, 2.0)
+    m.note_demotion(1, 5.0)
+    # The demoted node gives up and thinks instead of re-entering; the
+    # *next* hungry episode is a fresh one, not an after-demotion retry.
+    m.note_think(1, 6.0)
+    m.note_hungry(1, 10.0)
+    m.note_eat_start(1, 12.0)
+    assert [s.after_demotion for s in m.samples] == [False, False]
+
+
+def test_note_crash_clears_live_state():
+    m = MetricsCollector()
+    m.note_hungry(2, 0.0)
+    m.note_crash(2, 5.0)
+    assert m.crashed == {2: 5.0}
+    assert 2 not in m.hungry_nodes()
+    assert m.starving(now=100.0, threshold=10.0) == []
+
+
+def test_note_crash_clears_pending_demotion():
+    m = MetricsCollector()
+    m.note_hungry(3, 0.0)
+    m.note_eat_start(3, 1.0)
+    m.note_demotion(3, 2.0)
+    m.note_crash(3, 3.0)
+    # A dead node's half-open demotion episode never flags a later
+    # sample (e.g. if node ids were ever reused by a restart model).
+    m.note_hungry(3, 10.0)
+    m.note_eat_start(3, 11.0)
+    assert m.samples[-1].after_demotion is False

@@ -73,3 +73,38 @@ def test_replicate_is_seed_sensitive_but_deterministic():
     a = replicate(config, until=60.0, seeds=(7,), metrics=DEFAULT_METRICS)
     b = replicate(config, until=60.0, seeds=(7,), metrics=DEFAULT_METRICS)
     assert a["mean_response"].mean == b["mean_response"].mean
+
+
+def test_replicate_report_dir_writes_one_report_per_seed(tmp_path):
+    from repro.obs.report import RunReport
+
+    config = ScenarioConfig(
+        positions=line_positions(4, spacing=1.0),
+        radio_range=1.1,
+        algorithm="alg2",
+        telemetry=True,
+    )
+    out = tmp_path / "reports"
+    replicate(config, until=40.0, seeds=(1, 2, 3), metrics=DEFAULT_METRICS,
+              report_dir=out)
+    files = sorted(out.glob("*.json"))
+    assert len(files) == 3
+    seeds_seen = {RunReport.load(f).config["seed"] for f in files}
+    assert seeds_seen == {1, 2, 3}
+
+
+def test_replicate_cache_hits_skip_report_writes(tmp_path):
+    config = ScenarioConfig(
+        positions=line_positions(4, spacing=1.0),
+        radio_range=1.1,
+        algorithm="alg2",
+    )
+    cache = tmp_path / "cache"
+    out = tmp_path / "reports"
+    # Prime the cache without reports...
+    replicate(config, until=40.0, seeds=(5, 6), metrics=DEFAULT_METRICS,
+              cache=cache)
+    # ...then a fully-cached re-run must not execute (and so not write).
+    replicate(config, until=40.0, seeds=(5, 6), metrics=DEFAULT_METRICS,
+              cache=cache, report_dir=out)
+    assert not out.exists() or not list(out.glob("*.json"))

@@ -1,0 +1,154 @@
+"""Tests for the metric registry: instruments, get-or-create, null idiom."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    live_registry,
+)
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+
+
+def test_counter_totals_and_key_breakdown():
+    c = Counter("doorway.cross")
+    c.inc()
+    c.inc(2, key="ADr")
+    c.inc(key="SDr")
+    assert c.get() == 4
+    assert c.get("ADr") == 2
+    assert c.get("SDr") == 1
+    assert c.get("missing") == 0
+    snap = c.snapshot()
+    assert snap == {
+        "kind": "counter", "value": 4, "by_key": {"ADr": 2, "SDr": 1},
+    }
+
+
+def test_counter_without_keys_snapshots_flat():
+    c = Counter("fork.requests")
+    c.inc(3)
+    assert c.snapshot() == {"kind": "counter", "value": 3}
+
+
+def test_gauge_tracks_level_and_high_water():
+    g = Gauge("doorway.occupancy")
+    g.inc()
+    g.inc()
+    g.dec()
+    assert g.get() == 1
+    assert g.high_water == 2
+    g.set(5)
+    g.set(3)
+    assert g.get() == 3
+    assert g.high_water == 5
+
+
+def test_gauge_keyed_levels_are_independent():
+    g = Gauge("doorway.occupancy")
+    g.inc(key="ADr")
+    g.inc(key="ADr")
+    g.inc(key="SDf")
+    g.dec(key="ADr")
+    assert g.get("ADr") == 1
+    assert g.get("SDf") == 1
+    assert g.get() == 0  # the unkeyed level is separate
+    snap = g.snapshot()
+    assert snap["by_key"] == {"ADr": 1, "SDf": 1}
+    assert snap["high_water_by_key"] == {"ADr": 2, "SDf": 1}
+
+
+def test_histogram_streaming_summary():
+    h = Histogram("fork.grant_latency")
+    for value in (2.0, 4.0, 6.0):
+        h.observe(value)
+    assert h.count == 3
+    assert h.total == 12.0
+    assert h.mean() == 4.0
+    snap = h.snapshot()
+    assert snap["min"] == 2.0 and snap["max"] == 6.0 and snap["mean"] == 4.0
+
+
+def test_histogram_keyed_cells():
+    h = Histogram("doorway.time_behind")
+    h.observe(1.0, key="ADr")
+    h.observe(3.0, key="ADr")
+    h.observe(10.0, key="SDr")
+    assert h.mean("ADr") == 2.0
+    assert h.mean("SDr") == 10.0
+    assert h.mean("missing") is None
+    assert h.mean() == pytest.approx(14.0 / 3)
+    snap = h.snapshot()
+    assert snap["by_key"]["ADr"]["count"] == 2
+
+
+def test_empty_histogram_mean_is_none():
+    h = Histogram("x")
+    assert h.mean() is None
+    assert h.snapshot()["min"] is None
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    r = MetricRegistry()
+    a = r.counter("hits")
+    b = r.counter("hits")
+    assert a is b
+    a.inc()
+    assert r.counter("hits").get() == 1
+
+
+def test_registry_rejects_kind_mismatch():
+    r = MetricRegistry()
+    r.counter("x")
+    with pytest.raises(ConfigurationError):
+        r.gauge("x")
+    with pytest.raises(ConfigurationError):
+        r.histogram("x")
+
+
+def test_registry_snapshot_is_sorted_and_json_ready():
+    import json
+
+    r = MetricRegistry()
+    r.counter("b.second").inc()
+    r.gauge("a.first").set(2)
+    r.histogram("c.third").observe(1.5)
+    snap = r.snapshot()
+    assert list(snap) == ["a.first", "b.second", "c.third"]
+    json.dumps(snap)  # must serialize without custom encoders
+    assert r.names() == ["a.first", "b.second", "c.third"]
+    assert r.get("a.first") is not None
+    assert r.get("missing") is None
+
+
+# ----------------------------------------------------------------------
+# The None-when-off idiom
+# ----------------------------------------------------------------------
+
+
+def test_live_registry_normalizes_handles():
+    real = MetricRegistry()
+    assert live_registry(real) is real
+    assert live_registry(None) is None
+    assert live_registry(NULL_REGISTRY) is None
+
+
+def test_null_registry_still_hands_out_instruments():
+    # Code that wants an always-valid registry can use NULL_REGISTRY;
+    # it records (harmlessly) but live_registry screens it off hot paths.
+    c = NULL_REGISTRY.counter("anything")
+    c.inc()
+    assert not NULL_REGISTRY.enabled

@@ -200,3 +200,72 @@ def test_random_source_fork_derives_new_seed():
     child2 = RandomSource(5).fork("child")
     assert child1.seed == child2.seed
     assert child1.seed != root.seed
+
+
+# ----------------------------------------------------------------------
+# Engine stats and profiling hooks
+# ----------------------------------------------------------------------
+
+
+def test_stats_snapshot_tracks_counters():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule_at(float(i), lambda: None)
+    sim.run()
+    stats = sim.stats()
+    assert stats["executed_events"] == 5
+    assert stats["pending_events"] == 0
+    assert stats["heap_high_water"] >= 1
+    assert stats["now"] == 4.0
+    assert "compactions" in stats
+
+
+def test_mass_cancellation_triggers_compaction():
+    sim = Simulator()
+    handles = [sim.schedule_at(float(i), lambda: None) for i in range(200)]
+    for handle in handles[:150]:
+        handle.cancel()
+    assert sim.compactions >= 1
+    assert sim.stats()["compactions"] == sim.compactions
+    sim.run()
+    assert sim.executed_events == 50
+
+
+def test_profiler_attach_detach_and_categories():
+    from repro.obs.profiler import EngineProfiler
+
+    sim = Simulator()
+    profiler = EngineProfiler(sample_every=2)
+    sim.attach_profiler(profiler)
+    assert sim.profiler is profiler
+
+    def tick():
+        pass
+
+    for i in range(6):
+        sim.schedule_at(float(i), tick)
+    sim.run()
+    assert profiler.events == 6
+    summary = profiler.summary()
+    (category,) = summary["by_category"].keys()
+    assert category.endswith("tick")
+    assert summary["by_category"][category]["events"] == 6
+    assert summary["events_per_second"] > 0
+    assert profiler.top_categories() == [category]
+    sim.detach_profiler()
+    assert sim.profiler is None
+
+
+def test_profiler_cannot_change_mid_run():
+    from repro.obs.profiler import EngineProfiler
+
+    sim = Simulator()
+
+    def meddle():
+        with pytest.raises(SimulationError):
+            sim.attach_profiler(EngineProfiler())
+        with pytest.raises(SimulationError):
+            sim.detach_profiler()
+
+    sim.schedule_at(1.0, meddle)
+    sim.run()

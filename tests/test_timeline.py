@@ -94,3 +94,23 @@ def test_export_jsonl_handles_sets():
     export_jsonl(trace, buffer)
     record = json.loads(buffer.getvalue())
     assert record["detail"]["doors"] == ["a", "b"]
+
+
+def test_eating_intervals_refuse_truncated_traces():
+    import pytest
+
+    from repro.errors import TraceTruncatedError
+
+    trace = TraceLog(capacity=4)
+    for i in range(10):
+        trace.record(float(i), "cs.enter" if i % 2 == 0 else "cs.exit", 0)
+    assert trace.truncated
+    with pytest.raises(TraceTruncatedError):
+        eating_intervals(trace)
+    with pytest.raises(TraceTruncatedError):
+        render_timeline(trace)
+    with pytest.raises(TraceTruncatedError):
+        concurrency_profile(trace)
+    # The caller can still opt into a partial reconstruction.
+    partial = eating_intervals(trace, allow_truncated=True)
+    assert isinstance(partial, dict)

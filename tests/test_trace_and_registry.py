@@ -110,3 +110,22 @@ def test_oracle_scheduler_shared_within_context():
     a = factory(FakeNode(0, ()))
     b = factory(FakeNode(1, ()))
     assert a.scheduler is b.scheduler
+
+
+def test_trace_truncation_is_loud_not_silent():
+    log = TraceLog(capacity=10)
+    assert not log.truncated
+    for i in range(25):
+        log.record(float(i), "tick", 0)
+    assert log.truncated
+    # Every evicted record is accounted for: survivors + dropped = total.
+    assert len(log) + log.dropped == 25
+    log.clear()
+    assert not log.truncated and log.dropped == 0
+
+
+def test_uncapped_trace_never_truncates():
+    log = TraceLog()
+    for i in range(1000):
+        log.record(float(i), "tick", 0)
+    assert not log.truncated and log.dropped == 0
