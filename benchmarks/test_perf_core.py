@@ -14,7 +14,13 @@ Times the hot paths the simulation core was rebuilt around:
 5. **Telemetry** — instrumented-vs-off overhead for the flood and an
    alg2-line protocol workload, plus the zero-cost-when-off guard
    against the committed baseline (normalized by a fresh event-loop
-   calibration so cross-machine comparisons stay meaningful).
+   calibration so cross-machine comparisons stay meaningful);
+6. **Mobility plane** — kinetic link prediction vs the fixed-step
+   execution path at n=1000 with every node mid-flight concurrently:
+   the kinetic path must execute ≥3× fewer topology updates (a
+   deterministic counter comparison) and finish ≥2× faster on a quiet
+   box (jitter-gated, like the telemetry guard), while both paths land
+   on identical final positions and link sets.
 
 Run with ``pytest -m perf benchmarks/test_perf_core.py``.  Setting
 ``REPRO_WRITE_BENCH=1`` writes the measurements to ``BENCH_core.json``
@@ -33,7 +39,9 @@ from pathlib import Path
 import pytest
 
 from repro.harness.multiseed import DEFAULT_METRICS, replicate
+from repro.mobility import MobilityController
 from repro.net.channel import ChannelLayer
+from repro.net.linklayer import LinkLayer
 from repro.net.geometry import Point, grid_positions, line_positions
 from repro.net.messages import Message
 from repro.net.topology import DynamicTopology
@@ -561,6 +569,144 @@ def test_telemetry_off_matches_baseline(report):
     assert normalized >= 0.97 * base_flood, (
         f"telemetry-off flood regressed: {normalized:,.0f} msg/s "
         f"(normalized) < 97% of baseline {base_flood:,.0f}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 6. Mobility plane: kinetic link prediction vs fixed-step execution
+# ---------------------------------------------------------------------------
+
+
+class _MobilitySink:
+    def on_message(self, src, message):
+        pass
+
+    def on_link_up(self, peer, moving):
+        pass
+
+    def on_link_down(self, peer):
+        pass
+
+
+def _mobility_plan(n, arena, hop, seed=5):
+    """Deterministic high-mobility plan: one long leg per node, every
+    node launched within the first two virtual seconds (so all ``n``
+    flights overlap), destinations clamped to the arena."""
+    rnd = random.Random(seed)
+    positions = [
+        Point(rnd.uniform(0, arena), rnd.uniform(0, arena)) for _ in range(n)
+    ]
+    plan = []
+    for node in range(n):
+        cur = positions[node]
+        dest = Point(
+            min(max(cur.x + rnd.uniform(-hop, hop), 0.0), arena),
+            min(max(cur.y + rnd.uniform(-hop, hop), 0.0), arena),
+        )
+        plan.append(
+            (rnd.uniform(0.0, 2.0), node, dest, rnd.uniform(2.0, 6.0))
+        )
+    return positions, plan
+
+
+def _run_mobility_churn(fixed_step, positions, plan, radio):
+    sim = Simulator()
+    topo = DynamicTopology(radio_range=radio)
+    link = LinkLayer(sim, topo)
+    channel = ChannelLayer(
+        sim, topo, TimeBounds(), RandomSource(0).stream("c"),
+        deliver=link.deliver,
+    )
+    link.bind_channel(channel)
+    for node, pos in enumerate(positions):
+        topo.add_node(node, pos)
+        link.register(node, _MobilitySink())
+    controller = MobilityController(
+        sim, topo, link, RandomSource(1), fixed_step=fixed_step
+    )
+    for start, node, dest, speed in plan:
+        sim.schedule_at(start, controller.move_node, node, dest, speed)
+    elapsed = _timed(sim.run)
+    return (
+        elapsed,
+        controller.stats(),
+        set(topo.links()),
+        [topo.position(node) for node in range(len(positions))],
+    )
+
+
+def test_mobility_churn_kinetic_vs_fixed_step(report):
+    """Kinetic certificates vs fixed steps under total churn.
+
+    n=1000 nodes each fly one long waypoint leg, all concurrently.  The
+    update-count comparison is deterministic (both paths count every
+    ``set_position(s)``/reposition they execute), so it asserts
+    unconditionally; the wall-clock speedup is gated on event-loop
+    calibration jitter exactly like the telemetry baseline guard.
+    Equivalence — identical final positions and link sets — asserts
+    unconditionally too: it is what makes the speedup a free lunch.
+    """
+    n, arena, radio, hop = 1000, 400.0, 4.0, 100.0
+    positions, plan = _mobility_plan(n, arena, hop)
+
+    calibrations = [_calibrate_events_per_second()]
+    kin = min(
+        (_run_mobility_churn(False, positions, plan, radio) for _ in range(2)),
+        key=lambda r: r[0],
+    )
+    fix = min(
+        (_run_mobility_churn(True, positions, plan, radio) for _ in range(2)),
+        key=lambda r: r[0],
+    )
+    calibrations.append(_calibrate_events_per_second())
+    jitter = max(calibrations) / min(calibrations) - 1.0
+
+    # Equivalence at quiescence: same links, same exact positions.
+    assert kin[2] == fix[2], "link sets diverged between mobility paths"
+    assert kin[3] == fix[3], "positions diverged between mobility paths"
+
+    kin_updates = kin[1]["position_updates"]
+    fix_updates = fix[1]["position_updates"]
+    update_ratio = fix_updates / kin_updates if kin_updates else math.inf
+    speedup = fix[0] / kin[0] if kin[0] else math.inf
+
+    _RESULTS["mobility_churn"] = {
+        "n": n,
+        "arena": arena,
+        "radio_range": radio,
+        "max_leg": hop,
+        "links_final": len(kin[2]),
+        "kinetic_seconds": round(kin[0], 6),
+        "fixed_step_seconds": round(fix[0], 6),
+        "kinetic_updates": kin_updates,
+        "fixed_step_updates": fix_updates,
+        "update_ratio": round(update_ratio, 2),
+        "speedup": round(speedup, 2),
+        "crossings_scheduled": kin[1]["crossings_scheduled"],
+        "crossing_events": kin[1]["crossing_events"],
+        "horizon_events": kin[1]["horizon_events"],
+        "dead_steps_skipped": kin[1]["dead_steps_skipped"],
+        "calibration_jitter": round(jitter, 4),
+    }
+    report(
+        f"mobility churn n={n}: kinetic {kin[0]:.3f}s "
+        f"({kin_updates} updates), fixed-step {fix[0]:.3f}s "
+        f"({fix_updates} updates) -> {update_ratio:.1f}x fewer updates, "
+        f"{speedup:.1f}x wall (jitter {jitter:.1%})"
+    )
+    assert update_ratio >= 3.0, (
+        f"kinetic path should execute >=3x fewer topology updates, "
+        f"got {update_ratio:.2f}x"
+    )
+    assert kin[1]["dead_steps_skipped"] > 0
+    if jitter > 0.05:
+        pytest.skip(
+            f"calibration jitter {jitter:.1%} > 5%: box too noisy for a "
+            "wall-clock bound (numbers recorded above)"
+        )
+    assert speedup >= 2.0, (
+        f"kinetic path should be >=2x faster under total churn, "
+        f"got {speedup:.2f}x"
     )
 
 

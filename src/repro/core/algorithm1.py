@@ -210,7 +210,8 @@ class Algorithm1(MessageDispatchMixin, LocalMutexAlgorithm):
     # ------------------------------------------------------------------
     def _begin_recoloring(self) -> None:
         self.recolor_runs += 1
-        peers = set(self.node.neighbors())  # R := N (Line 37)
+        # R := N (Line 37) — the cached frozenset; the session copies it.
+        peers = self.node.neighbors()
         self.session = self.coloring.create_session(
             self.node_id, peers, self.node.send, self._recolor_finished
         )

@@ -101,7 +101,7 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
         (Lines 6-9), "notified" (Lines 22-25) or "link_up" (Lines 45-46).
         """
         probes = self._probes
-        for peer in sorted(self.node.neighbors()):
+        for peer in self.node.sorted_neighbors():
             if not self.higher.get(peer, False):
                 self.node.send(peer, Switch())
                 self.higher[peer] = True

@@ -13,7 +13,7 @@ with lightweight fakes and lets baselines share the same plumbing.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, FrozenSet, Protocol
+from typing import TYPE_CHECKING, FrozenSet, Protocol, Tuple
 
 from repro.core.states import NodeState
 from repro.net.messages import Message
@@ -42,6 +42,10 @@ class NodeServices(Protocol):
 
     def neighbors(self) -> FrozenSet[int]:
         """Current neighbor set ``N`` (maintained by the link layer)."""
+        ...
+
+    def sorted_neighbors(self) -> Tuple[int, ...]:
+        """``N`` in ascending id order (cached; never re-sorted per call)."""
         ...
 
     def send(self, dst: int, message: Message) -> None:

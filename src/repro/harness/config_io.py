@@ -59,6 +59,11 @@ def config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
         "initial_delay_range": list(config.initial_delay_range),
         "max_entries": config.max_entries,
         "mobility_step": config.mobility_step,
+        # Unlike channel_per_message (whose two paths are bit-identical,
+        # so omitting it can never replay a wrong cached result), the
+        # mobility execution mode changes event timings — it must be
+        # part of the serialized config and thus of every cache key.
+        "mobility_fixed_step": config.mobility_fixed_step,
         "crashes": [[t, n] for t, n in config.crashes],
         "trace": config.trace,
         "strict_safety": config.strict_safety,
@@ -131,6 +136,7 @@ def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
         ),
         mobility_factory=mobility_factory,
         mobility_step=data.get("mobility_step", 0.25),
+        mobility_fixed_step=data.get("mobility_fixed_step", False),
         crashes=[(float(t), int(n)) for t, n in data.get("crashes", [])],
         trace=data.get("trace", False),
         strict_safety=data.get("strict_safety", True),

@@ -83,6 +83,11 @@ def measure_failure_locality(
 ) -> LocalityReport:
     """Build a :class:`LocalityReport` from post-run bookkeeping.
 
+    Distance queries go through ``topology.distances_from``, which is
+    memoized against the topology's version counter — repeated locality
+    probes of the same crash against an unchanged end-of-run graph cost
+    one BFS, not one per call.
+
     Args:
         topology: the (post-run) communication graph used for distances.
         crashed: crashed node ids.

@@ -79,8 +79,16 @@ class LinkLayer:
     # Queries offered to protocol code (the node's local view)
     # ------------------------------------------------------------------
     def neighbors(self, node_id: int) -> FrozenSet[int]:
-        """The node's current neighbor set ``N`` (maintained here)."""
+        """The node's current neighbor set ``N`` (maintained here).
+
+        Served from the topology's per-node frozenset cache: repeated
+        reads between topology changes return the same object.
+        """
         return self._topology.neighbors(node_id)
+
+    def sorted_neighbors(self, node_id: int):
+        """``N`` in ascending id order (the topology's cached tuple)."""
+        return self._topology.sorted_neighbors(node_id)
 
     def is_moving(self, node_id: int) -> bool:
         """True while the node is inside a movement episode."""

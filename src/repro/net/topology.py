@@ -25,6 +25,18 @@ randomized workloads.
 ``max_degree`` (the ``delta`` the link layer reports frequently) is
 tracked incrementally through a degree histogram rather than being
 recomputed with a full pass per call.
+
+A monotone :attr:`~DynamicTopology.version` counter ticks on every
+membership or link change (never on a pure position update), and backs
+three caches: the per-node ``neighbors()`` frozenset, the presorted
+``sorted_neighbors()`` tuple, and a one-slot BFS memo serving
+``distances_from`` (the failure-locality metric issues the same source
+repeatedly against an unchanged graph).
+
+``set_positions`` applies a whole batch of same-instant moves in one
+grid pass and emits a single merged, deterministically ordered
+:class:`LinkDiff` — the entry point the kinetic mobility engine
+(:mod:`repro.mobility.kinetic`) uses for crossing/arrival updates.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from __future__ import annotations
 import itertools
 import math
 from collections import deque
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -98,6 +111,16 @@ class DynamicTopology:
         # Lazily built ascending neighbor tuples, invalidated per node
         # on link/unlink; serves broadcast fan-out without re-sorting.
         self._sorted_neighbors: Dict[int, Tuple[int, ...]] = {}
+        # Lazily built neighbor frozensets, same invalidation scheme;
+        # serves the protocol layer's per-message neighbors() reads.
+        self._frozen_neighbors: Dict[int, FrozenSet[int]] = {}
+        #: Monotone graph version: bumps on any membership or link
+        #: change, never on a pure position update.  External caches
+        #: (and the BFS memo below) key on it.
+        self.version = 0
+        # One-slot BFS memo: (version, source) -> distance dict.
+        self._bfs_key: Optional[Tuple[int, int]] = None
+        self._bfs_result: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Node management
@@ -106,6 +129,7 @@ class DynamicTopology:
         """Add a node; returns the links its arrival created."""
         if node_id in self._positions:
             raise TopologyError(f"node {node_id} already exists")
+        self.version += 1
         self._positions[node_id] = position
         self._adjacency[node_id] = set()
         self._rank[node_id] = next(self._rank_counter)
@@ -122,6 +146,7 @@ class DynamicTopology:
     def remove_node(self, node_id: int) -> LinkDiff:
         """Remove a node; returns the links its departure destroyed."""
         self._require(node_id)
+        self.version += 1
         diff = LinkDiff()
         for other in list(self._adjacency[node_id]):
             self._unlink(node_id, other)
@@ -129,6 +154,7 @@ class DynamicTopology:
         self._count_degree(0, -1)
         self._grid_discard(node_id)
         self._sorted_neighbors.pop(node_id, None)
+        self._frozen_neighbors.pop(node_id, None)
         del self._adjacency[node_id]
         del self._positions[node_id]
         del self._rank[node_id]
@@ -171,13 +197,101 @@ class DynamicTopology:
                 diff.removed.append(link_key(node_id, other))
         return diff
 
+    def reposition(self, node_id: int, position: Point) -> bool:
+        """Refresh a node's stored position and grid cell — no link scan.
+
+        For callers that know no link can change at this instant: the
+        kinetic engine's horizon refresh only combats grid staleness,
+        every link toggle involving the mover being covered by a
+        scheduled crossing certificate.  Adjacency is re-evaluated at
+        the node's next ``set_position(s)`` call (crossing, arrival,
+        freeze), so even a dropped grazing contact cannot outlive the
+        flight.
+
+        Returns True iff the node's grid *cell* changed — the signal
+        the kinetic engine keys its discovery re-scan on.
+        """
+        self._require(node_id)
+        self._positions[node_id] = position
+        return self._grid_move(node_id, position)
+
+    def set_positions(
+        self,
+        batch: Iterable[Tuple[int, Point]],
+        deferred: Iterable[int] = (),
+    ) -> LinkDiff:
+        """Apply same-instant moves in one grid pass; one merged diff.
+
+        All stored positions (and grid cells) are updated first, then
+        each mover's candidate window is evaluated in batch order, so a
+        pair of movers is judged on both *final* positions exactly once.
+        Diff entries follow batch order and, within a mover, the same
+        insertion-rank order ``set_position`` uses — a singleton batch
+        is bit-identical to ``set_position``.
+
+        ``deferred`` names nodes whose pair evaluations are skipped
+        (unless they are in the batch themselves).  The kinetic mobility
+        engine passes its other mid-flight nodes here: their *stored*
+        positions are stale between repositioning events, and every
+        crossing involving them is already covered by that pair's own
+        scheduled certificate — skipping them avoids spurious toggles.
+        """
+        moves = list(batch)
+        diff = LinkDiff()
+        if not moves:
+            return diff
+        moved: Set[int] = set()
+        for node_id, _ in moves:
+            self._require(node_id)
+            if node_id in moved:
+                raise TopologyError(
+                    f"node {node_id} appears twice in one position batch"
+                )
+            moved.add(node_id)
+        for node_id, position in moves:
+            self._positions[node_id] = position
+            self._grid_move(node_id, position)
+        if not isinstance(deferred, AbstractSet):
+            deferred = set(deferred)
+        seen_pairs: Set[Link] = set()
+        radio = self.radio_range
+        positions = self._positions
+        for node_id, position in moves:
+            current = self._adjacency[node_id]
+            for other in self._scan_candidates(node_id, position, extra=current):
+                if other in deferred and other not in moved:
+                    continue
+                if other in moved:
+                    pair = link_key(node_id, other)
+                    if pair in seen_pairs:
+                        continue
+                    seen_pairs.add(pair)
+                in_range = position.distance_to(positions[other]) <= radio
+                if in_range and other not in current:
+                    self._link(node_id, other)
+                    diff.added.append(link_key(node_id, other))
+                elif not in_range and other in current:
+                    self._unlink(node_id, other)
+                    diff.removed.append(link_key(node_id, other))
+        return diff
+
     # ------------------------------------------------------------------
     # Graph queries
     # ------------------------------------------------------------------
     def neighbors(self, node_id: int) -> FrozenSet[int]:
-        """The current neighbor set of a node."""
-        self._require(node_id)
-        return frozenset(self._adjacency[node_id])
+        """The current neighbor set of a node (cached frozenset).
+
+        The protocol layer reads ``N`` on nearly every message; the
+        frozenset is built once per (node, graph change) instead of per
+        call, invalidated by link/unlink exactly like the presorted
+        tuple below.
+        """
+        cached = self._frozen_neighbors.get(node_id)
+        if cached is None:
+            self._require(node_id)
+            cached = frozenset(self._adjacency[node_id])
+            self._frozen_neighbors[node_id] = cached
+        return cached
 
     def sorted_neighbors(self, node_id: int) -> Tuple[int, ...]:
         """The current neighbors in ascending id order (cached).
@@ -233,8 +347,17 @@ class DynamicTopology:
         return None
 
     def distances_from(self, source: int) -> Dict[int, int]:
-        """Hop distances from ``source`` to every reachable node."""
+        """Hop distances from ``source`` to every reachable node.
+
+        Memoized against :attr:`version` for the last source queried —
+        the failure-locality metric walks the same crash node's distance
+        map repeatedly against an unchanged end-of-run graph.  Treat the
+        returned dict as read-only.
+        """
         self._require(source)
+        key = (self.version, source)
+        if key == self._bfs_key:
+            return self._bfs_result
         dist = {source: 0}
         frontier = deque([source])
         while frontier:
@@ -243,6 +366,8 @@ class DynamicTopology:
                 if nbr not in dist:
                     dist[nbr] = dist[node] + 1
                     frontier.append(nbr)
+        self._bfs_key = key
+        self._bfs_result = dist
         return dist
 
     def m_neighborhood(self, node_id: int, m: int) -> Set[int]:
@@ -298,6 +423,27 @@ class DynamicTopology:
         rank = self._rank
         return sorted(candidates, key=rank.__getitem__)
 
+    def nearby_nodes(self, position: Point, rings: int = 1) -> List[int]:
+        """Nodes whose *stored* position lies within ``rings`` grid
+        cells of ``position``, in insertion-rank order.
+
+        The kinetic mobility engine uses a wider-than-default window
+        (``rings=3``) for certificate discovery: a mid-flight node's
+        stored position is refreshed at least every half radio range of
+        travel, so any pair that can cross the range before the next
+        refresh of either endpoint sits within three cells.
+        """
+        grid = self._grid
+        cx, cy = self._cell_of(position)
+        candidates: Set[int] = set()
+        for dx in range(-rings, rings + 1):
+            for dy in range(-rings, rings + 1):
+                bucket = grid.get((cx + dx, cy + dy))
+                if bucket:
+                    candidates.update(bucket)
+        rank = self._rank
+        return sorted(candidates, key=rank.__getitem__)
+
     # ------------------------------------------------------------------
     # Internal: grid maintenance
     # ------------------------------------------------------------------
@@ -317,36 +463,44 @@ class DynamicTopology:
         if not bucket:
             del self._grid[cell]
 
-    def _grid_move(self, node_id: int, position: Point) -> None:
+    def _grid_move(self, node_id: int, position: Point) -> bool:
+        """Re-bucket a node; True iff its grid cell changed."""
         new_cell = self._cell_of(position)
         old_cell = self._node_cell[node_id]
         if new_cell == old_cell:
-            return
+            return False
         bucket = self._grid[old_cell]
         bucket.discard(node_id)
         if not bucket:
             del self._grid[old_cell]
         self._grid.setdefault(new_cell, set()).add(node_id)
         self._node_cell[node_id] = new_cell
+        return True
 
     # ------------------------------------------------------------------
     # Internal: adjacency + degree histogram
     # ------------------------------------------------------------------
     def _link(self, a: int, b: int) -> None:
+        self.version += 1
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
         self._sorted_neighbors.pop(a, None)
         self._sorted_neighbors.pop(b, None)
+        self._frozen_neighbors.pop(a, None)
+        self._frozen_neighbors.pop(b, None)
         self._count_degree(len(self._adjacency[a]) - 1, -1)
         self._count_degree(len(self._adjacency[a]), +1)
         self._count_degree(len(self._adjacency[b]) - 1, -1)
         self._count_degree(len(self._adjacency[b]), +1)
 
     def _unlink(self, a: int, b: int) -> None:
+        self.version += 1
         self._adjacency[a].discard(b)
         self._adjacency[b].discard(a)
         self._sorted_neighbors.pop(a, None)
         self._sorted_neighbors.pop(b, None)
+        self._frozen_neighbors.pop(a, None)
+        self._frozen_neighbors.pop(b, None)
         self._count_degree(len(self._adjacency[a]) + 1, -1)
         self._count_degree(len(self._adjacency[a]), +1)
         self._count_degree(len(self._adjacency[b]) + 1, -1)

@@ -30,6 +30,15 @@ The probe catalogue (all instrument names live here, nowhere else):
                                             reason (exit_cs / notified /
                                             link_up)
 ``watchdog.warnings``           counter     starvation warnings emitted
+``mobility.updates``            counter     position updates executed,
+                                            keyed by reason (crossing /
+                                            horizon / arrival / teleport /
+                                            freeze; fixed-step: step /
+                                            teleport)
+``mobility.crossings``          counter     link-crossing certificates
+                                            scheduled (kinetic path)
+``mobility.batch_size``         histogram   movers per batched position
+                                            update (kinetic path)
 ==============================  ==========  =================================
 """
 
@@ -65,6 +74,9 @@ class ProtocolProbes:
         "recolor_session_duration",
         "alg2_notifications",
         "alg2_switches",
+        "mobility_updates",
+        "mobility_crossings",
+        "mobility_batch_size",
     )
 
     def __init__(self, registry: MetricRegistry) -> None:
@@ -107,6 +119,15 @@ class ProtocolProbes:
         )
         self.alg2_switches = registry.counter(
             "alg2.switches", "Algorithm 2 switch messages by reason"
+        )
+        self.mobility_updates = registry.counter(
+            "mobility.updates", "position updates executed by reason"
+        )
+        self.mobility_crossings = registry.counter(
+            "mobility.crossings", "link-crossing certificates scheduled"
+        )
+        self.mobility_batch_size = registry.histogram(
+            "mobility.batch_size", "movers per batched position update"
         )
 
     # ------------------------------------------------------------------
@@ -156,6 +177,16 @@ class ProtocolProbes:
 
     def note_switch(self, reason: str) -> None:
         self.alg2_switches.inc(key=reason)
+
+    # ------------------------------------------------------------------
+    # Mobility plane
+    # ------------------------------------------------------------------
+    def note_mobility_update(self, reason: str, batch_size: int) -> None:
+        self.mobility_updates.inc(batch_size, key=reason)
+        self.mobility_batch_size.observe(float(batch_size))
+
+    def note_mobility_crossing(self) -> None:
+        self.mobility_crossings.inc()
 
 
 def build_probes(registry: Optional[MetricRegistry]) -> Optional[ProtocolProbes]:

@@ -33,11 +33,13 @@ class CrashInjector:
         linklayer: LinkLayer,
         harnesses: Dict[int, NodeHarness],
         metrics=None,
+        mobility=None,
     ) -> None:
         self._sim = sim
         self._linklayer = linklayer
         self._harnesses = harnesses
         self._metrics = metrics
+        self._mobility = mobility
         self.crashes: List[CrashEvent] = []
 
     def schedule(self, time: float, node_id: int) -> None:
@@ -62,5 +64,10 @@ class CrashInjector:
     def _crash(self, node_id: int) -> None:
         self._linklayer.crash(node_id)
         self._harnesses[node_id].crash()
+        if self._mobility is not None:
+            # Pin a mid-flight node at its exact crash position (the
+            # crashed node itself is already silenced above, so only its
+            # neighbors observe any resulting link changes).
+            self._mobility.note_crash(node_id)
         if self._metrics is not None:
             self._metrics.note_crash(node_id, self._sim.now)

@@ -87,6 +87,9 @@ class NodeHarness:
     def neighbors(self):
         return self._linklayer.neighbors(self.node_id)
 
+    def sorted_neighbors(self):
+        return self._linklayer.sorted_neighbors(self.node_id)
+
     def send(self, dst: int, message: Message) -> None:
         self._linklayer.send(self.node_id, dst, message)
 

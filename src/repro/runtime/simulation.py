@@ -59,6 +59,12 @@ class ScenarioConfig:
     #: Per-node mobility model factory (node_id -> model or None).
     mobility_factory: Optional[Callable[[int], Optional[MobilityModel]]] = None
     mobility_step: float = 0.25
+    #: Use the legacy fixed-interval step timer for movement instead of
+    #: kinetic link prediction.  Same destinations, same per-seed
+    #: determinism, identical link sets whenever the network is
+    #: quiescent; exists for equivalence testing and for scenarios that
+    #: want positions materialized every ``mobility_step`` of travel.
+    mobility_fixed_step: bool = False
     #: Crash plan: (time, node_id) pairs.
     crashes: List[Tuple[float, int]] = field(default_factory=list)
     trace: bool = False
@@ -320,6 +326,8 @@ class Simulation:
             self.rng,
             step_length=config.mobility_step,
             trace=self.trace,
+            probes=self.probes,
+            fixed_step=config.mobility_fixed_step,
         )
         if config.mobility_factory is not None:
             for node_id in range(n):
@@ -330,7 +338,11 @@ class Simulation:
 
         # --- failures --------------------------------------------------
         self.failures = CrashInjector(
-            self.sim, self.linklayer, self.harnesses, metrics=self.metrics
+            self.sim,
+            self.linklayer,
+            self.harnesses,
+            metrics=self.metrics,
+            mobility=self.mobility,
         )
         self.failures.schedule_all(config.crashes)
 

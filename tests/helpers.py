@@ -48,6 +48,9 @@ class FakeNode:
     def neighbors(self):
         return frozenset(self._neighbors)
 
+    def sorted_neighbors(self):
+        return tuple(sorted(self._neighbors))
+
     # -- services ----------------------------------------------------------
     def send(self, dst: int, message: Message) -> None:
         self.sent.append((dst, message))

@@ -32,7 +32,7 @@ class NullHandler:
         pass
 
 
-def build(nodes=3, spacing=1.0, step=0.25):
+def build(nodes=3, spacing=1.0, step=0.25, fixed_step=False):
     sim = Simulator()
     topo = DynamicTopology(radio_range=1.2)
     link = LinkLayer(sim, topo)
@@ -45,7 +45,8 @@ def build(nodes=3, spacing=1.0, step=0.25):
         topo.add_node(i, Point(i * spacing, 0.0))
         link.register(i, NullHandler())
     controller = MobilityController(
-        sim, topo, link, RandomSource(7), step_length=step
+        sim, topo, link, RandomSource(7), step_length=step,
+        fixed_step=fixed_step,
     )
     return sim, topo, link, controller
 
@@ -59,7 +60,16 @@ def test_static_model_never_moves():
 
 
 def test_move_node_reaches_destination_at_speed():
+    # Kinetic execution arrives at exactly dist/speed.
     sim, topo, link, controller = build()
+    controller.move_node(0, Point(0.0, 4.0), speed=2.0)
+    sim.run()
+    assert topo.position(0) == Point(0.0, 4.0)
+    assert sim.now == pytest.approx(4.0 / 2.0)
+
+
+def test_move_node_fixed_step_arrival_leads_by_one_step():
+    sim, topo, link, controller = build(fixed_step=True)
     controller.move_node(0, Point(0.0, 4.0), speed=2.0)
     sim.run()
     assert topo.position(0) == Point(0.0, 4.0)
@@ -77,20 +87,46 @@ def test_moving_flag_set_during_episode():
     assert not link.is_moving(0)
 
 
-def test_teleport_flips_topology_instantly():
-    sim, topo, link, controller = build()
+@pytest.mark.parametrize("fixed_step", [False, True])
+def test_teleport_flips_topology_instantly(fixed_step):
+    sim, topo, link, controller = build(fixed_step=fixed_step)
     controller.teleport(2, Point(0.0, 0.5))
     sim.run()
     assert topo.has_link(0, 2)
     assert not link.is_moving(2)
 
 
-def test_crashed_node_freezes_mid_flight():
-    sim, topo, link, controller = build()
+@pytest.mark.parametrize("fixed_step", [False, True])
+def test_crashed_node_freezes_mid_flight(fixed_step):
+    sim, topo, link, controller = build(fixed_step=fixed_step)
     controller.move_node(0, Point(0.0, 10.0), speed=1.0)
     sim.schedule(3.0, lambda: link.crash(0))
     sim.run()
     assert topo.position(0).y < 10.0  # froze on the way
+    assert not link.is_moving(0)
+
+
+@pytest.mark.parametrize("fixed_step", [False, True])
+def test_crash_hook_freezes_at_exact_position(fixed_step):
+    # The runtime wires CrashInjector -> controller.note_crash; the
+    # kinetic engine then pins the exact position at the crash instant
+    # (the fixed-step path freezes at its last materialized step).
+    sim, topo, link, controller = build(fixed_step=fixed_step)
+    controller.move_node(0, Point(0.0, 10.0), speed=1.0)
+
+    def crash():
+        link.crash(0)
+        controller.note_crash(0)
+
+    sim.schedule(3.0, crash)
+    sim.run()
+    frozen = topo.position(0)
+    if fixed_step:
+        # The step timer materializes positions one step ahead of true
+        # motion, so the freeze lands within one step of y = 3.
+        assert abs(frozen.y - 3.0) <= 0.25 + 1e-9
+    else:
+        assert frozen.y == pytest.approx(3.0)
     assert not link.is_moving(0)
 
 
@@ -155,8 +191,10 @@ def test_episode_validation():
         RandomWalk(5.0, 5.0, speed=0)
 
 
-def test_topology_updates_generate_link_events_along_path():
-    sim, topo, link, controller = build(nodes=2, spacing=5.0)
+@pytest.mark.parametrize("fixed_step", [False, True])
+def test_topology_updates_generate_link_events_along_path(fixed_step):
+    sim, topo, link, controller = build(nodes=2, spacing=5.0,
+                                        fixed_step=fixed_step)
     events = []
     link.observers.append(lambda kind, a, b: events.append((kind, sim.now)))
     # Walk node 0 past node 1 and far beyond: link must come up then down.
@@ -164,3 +202,22 @@ def test_topology_updates_generate_link_events_along_path():
     sim.run()
     kinds = [k for k, _ in events]
     assert kinds == ["up", "down"]
+
+
+def test_kinetic_link_events_fire_at_exact_crossing_times():
+    sim, topo, link, controller = build(nodes=2, spacing=5.0)
+    events = []
+    link.observers.append(lambda kind, a, b: events.append((kind, sim.now)))
+    controller.move_node(0, Point(10.0, 0.0), speed=1.0)
+    sim.run()
+    # Radio range 1.2: in range at x = 5 - 1.2, out of range at 5 + 1.2.
+    assert events[0][0] == "up"
+    assert events[0][1] == pytest.approx(5.0 - 1.2, abs=1e-9)
+    assert events[1][0] == "down"
+    assert events[1][1] == pytest.approx(5.0 + 1.2, abs=1e-9)
+    stats = controller.stats()
+    assert stats["mode"] == "kinetic"
+    assert stats["crossing_events"] == 2
+    # 10 units of travel: far fewer updates than the 40 fixed steps.
+    assert stats["position_updates"] < 40
+    assert stats["dead_steps_skipped"] > 0
