@@ -18,6 +18,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro._version import __version__
 from repro.core.algorithm1 import Algorithm1
 from repro.core.algorithm2 import Algorithm2
 from repro.core.coloring.greedy import GreedyColoring
@@ -45,8 +46,6 @@ from repro.runtime.simulation import (
     run_simulation,
 )
 from repro.sim.clock import TimeBounds
-
-__version__ = "1.0.0"
 
 __all__ = [
     "Algorithm1",

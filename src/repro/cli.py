@@ -1,12 +1,20 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro algorithms            # list registered protocols
     python -m repro run ...               # one simulation, summarized
     python -m repro compare ...           # several protocols, one table
     python -m repro locality ...          # crash probe with ASCII strip
     python -m repro report ...            # inspect / diff RunReport JSON
+    python -m repro explore ...           # adversarial exploration
+                                          #   (fuzz | replay | shrink)
+
+``explore fuzz`` runs a seeded campaign of controlled schedules with
+invariant monitors attached and exits 1 when any monitor fires, saving
+one replayable repro file per violation; ``explore replay`` re-executes
+a repro file and verifies the recorded violation reappears; ``explore
+shrink`` delta-debugs a repro file down to a minimal failing case.
 
 Topology specs are compact strings: ``line:13``, ``grid:25``,
 ``ring:8``, ``random:20:8x6`` (20 nodes uniform in an 8x6 arena).
@@ -223,6 +231,93 @@ def cmd_report(args, out) -> int:
     return 1
 
 
+def cmd_explore(args, out) -> int:
+    handlers = {
+        "fuzz": cmd_explore_fuzz,
+        "replay": cmd_explore_replay,
+        "shrink": cmd_explore_shrink,
+    }
+    return handlers[args.explore_command](args, out)
+
+
+def cmd_explore_fuzz(args, out) -> int:
+    from repro.explore import run_campaign, shrink_repro
+
+    if args.algorithm not in ALGORITHMS:
+        raise ConfigurationError(f"unknown algorithm {args.algorithm!r}")
+    result = run_campaign(
+        args.algorithm,
+        runs=args.runs,
+        seed=args.seed,
+        strategy=args.strategy,
+        workers=args.workers,
+        stop_on_first=args.stop_on_first,
+    )
+    rows = [
+        [o["family"], "VIOLATED" if o["violated"] else "ok", o["steps"]]
+        for o in result.outcomes
+    ]
+    out.write(render_table(
+        ["family", "outcome", "steps"],
+        rows,
+        title=f"fuzz {args.algorithm}: {result.runs} runs, "
+              f"strategy {args.strategy}, seed {args.seed}",
+    ) + "\n")
+    if result.clean:
+        out.write("campaign clean: no invariant violations\n")
+        return 0
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for index, repro in enumerate(result.violations):
+        if args.shrink:
+            repro, _ = shrink_repro(repro, max_replays=args.max_replays)
+        monitor = repro.violation.get("monitor", "violation")
+        path = out_dir / f"{args.algorithm}-{monitor}-{index}.json"
+        repro.save(path)
+        out.write(
+            f"violation of {monitor!r} at step "
+            f"{repro.violation.get('step')} "
+            f"(t={repro.violation.get('time'):.3f}) -> {path}\n"
+        )
+    return 1
+
+
+def cmd_explore_replay(args, out) -> int:
+    from repro.explore import replay
+    from repro.explore.repro_file import ReproFile
+
+    repro = ReproFile.load(args.file)
+    result = replay(repro)  # raises ReproError on divergence -> exit 2
+    violation = result.violation
+    out.write(
+        f"reproduced: {violation.monitor!r} violated at step "
+        f"{violation.step} (t={violation.time:.3f})\n"
+    )
+    if args.report:
+        path = result.report.save(args.report)
+        out.write(f"report written to {path}\n")
+    return 0
+
+
+def cmd_explore_shrink(args, out) -> int:
+    from repro.explore import shrink_repro
+    from repro.explore.repro_file import ReproFile
+
+    repro = ReproFile.load(args.file)
+    shrunk, replays = shrink_repro(repro, max_replays=args.max_replays)
+    destination = Path(args.out) if args.out else Path(
+        str(args.file)).with_suffix(".min.json")
+    shrunk.save(destination)
+    out.write(
+        f"shrunk size {repro.size()} -> {shrunk.size()} "
+        f"(decisions {len(repro.decisions)} -> {len(shrunk.decisions)}, "
+        f"until {repro.until:g} -> {shrunk.until:g}) "
+        f"in {replays} replays\n"
+    )
+    out.write(f"minimal repro written to {destination}\n")
+    return 0
+
+
 def cmd_locality(args, out) -> int:
     reports = {}
     for algorithm in args.algorithms:
@@ -325,19 +420,70 @@ def build_parser() -> argparse.ArgumentParser:
         "files", nargs="+", metavar="REPORT.json",
         help="one file to summarize, two to diff (exit 1 when they differ)",
     )
+
+    explore_parser = sub.add_parser(
+        "explore", help="adversarial exploration: fuzz, replay, shrink"
+    )
+    explore_sub = explore_parser.add_subparsers(
+        dest="explore_command", required=True
+    )
+
+    fuzz_parser = explore_sub.add_parser(
+        "fuzz", help="run a seeded fuzz campaign (exit 1 on violations)"
+    )
+    fuzz_parser.add_argument("--algorithm", default="alg2",
+                             choices=sorted(ALGORITHMS))
+    fuzz_parser.add_argument("--runs", type=int, default=20)
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument("--strategy", default="random",
+                             choices=["random", "pct", "dfs"])
+    fuzz_parser.add_argument("--workers", type=int, default=1,
+                             help="process fan-out (random/pct only)")
+    fuzz_parser.add_argument("--out", default="repros", metavar="DIR",
+                             help="directory for violation repro files")
+    fuzz_parser.add_argument("--stop-on-first", action="store_true",
+                             help="stop the campaign at the first violation")
+    fuzz_parser.add_argument("--shrink", action="store_true",
+                             help="delta-debug each violation before saving")
+    fuzz_parser.add_argument("--max-replays", type=int, default=150,
+                             help="shrink replay budget (with --shrink)")
+
+    replay_parser = explore_sub.add_parser(
+        "replay", help="re-run a repro file (exit 2 when it diverges)"
+    )
+    replay_parser.add_argument("file", metavar="REPRO.json")
+    replay_parser.add_argument("--report", default=None, metavar="OUT.json",
+                               help="save the replay's RunReport")
+
+    shrink_parser = explore_sub.add_parser(
+        "shrink", help="delta-debug a repro file to a minimal failing case"
+    )
+    shrink_parser.add_argument("file", metavar="REPRO.json")
+    shrink_parser.add_argument("--out", default=None, metavar="OUT.json",
+                               help="destination (default: <file>.min.json)")
+    shrink_parser.add_argument("--max-replays", type=int, default=300)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
+    arguments = list(argv) if argv is not None else sys.argv[1:]
+    if arguments and arguments[0] == "--version":
+        # Handled before argparse so the version lands on ``out`` (the
+        # stock "version" action writes to stdout and exits).
+        from repro import __version__
+
+        out.write(f"repro {__version__}\n")
+        return 0
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     handlers = {
         "algorithms": cmd_algorithms,
         "run": cmd_run,
         "compare": cmd_compare,
         "locality": cmd_locality,
         "report": cmd_report,
+        "explore": cmd_explore,
     }
     try:
         return handlers[args.command](args, out)

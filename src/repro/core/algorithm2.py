@@ -102,7 +102,16 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
         """
         probes = self._probes
         for peer in self.node.sorted_neighbors():
-            if not self.higher.get(peer, False):
+            state = self.higher.get(peer)
+            if state is None:
+                # The link formed this very instant and its handshake
+                # (on_link_up) has not run yet; the per-link priority is
+                # established there.  Treating the missing entry as "we
+                # outrank them" would send a Switch that can cross the
+                # peer's own and leave both sides low — the antisymmetry
+                # violation the priority monitor guards against.
+                continue
+            if not state:
                 self.node.send(peer, Switch())
                 self.higher[peer] = True
                 self.switches_sent += 1

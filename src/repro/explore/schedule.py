@@ -1,0 +1,344 @@
+"""Controlled schedulers: the decision side of adversarial exploration.
+
+The simulator has exactly three nondeterministic choice points, each
+surfaced by a hook in the existing planes:
+
+``tie_break(group)``
+    Which of several live events sharing ``(time, priority)`` runs
+    first (:meth:`repro.sim.engine.Simulator.set_choice_controller`).
+    The engine re-consults as the group shrinks, so a controller has
+    full permutation authority over every same-instant batch.
+``message_delay(src, dst, message)``
+    The per-hop delivery latency in ``[min_message_delay, nu]``
+    (:attr:`repro.net.channel.Channel.delay_source`).
+``crash_time(node_id, base)``
+    When a planned crash actually fires
+    (:meth:`repro.runtime.failures.CrashInjector.apply_control`).
+
+Every decision is appended to a flat typed :class:`DecisionLog` —
+``["t", index]``, ``["d", delay]``, ``["c", time]`` — which is the
+replayable trace written into repro files.  Floats survive the JSON
+round trip exactly (``repr`` is shortest-round-trip), so a replayed
+run is bit-identical to the original.
+
+Strategies:
+
+:class:`RandomStrategy`
+    Seeded uniform choices; the workhorse for fuzz campaigns.
+:class:`PCTStrategy`
+    Probabilistic concurrency testing (Burckhardt et al., ASPLOS
+    2010, adapted): random priorities over *actors* with ``depth``
+    change points, plus delay quantization so same-instant tie groups
+    actually form.  Finds bugs that need one rare ordering held for a
+    long window.
+:class:`BoundedDFSStrategy`
+    Systematic enumeration of tie-break permutations for small
+    configurations, driven by :func:`dfs_prefixes`.
+:class:`ReplaySchedule`
+    Replays a recorded :class:`DecisionLog`, deviating to defaults
+    once a queue is exhausted (which shrinking exploits).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Decision-type tags used in the flat trace.
+TIE, DELAY, CRASH = "t", "d", "c"
+
+Decision = List[Any]  # ["t", int] | ["d", float] | ["c", float]
+
+
+class DecisionLog:
+    """Flat, typed, JSON-ready record of every choice a run made."""
+
+    def __init__(self) -> None:
+        self.decisions: List[Decision] = []
+
+    def record(self, kind: str, value: Any) -> None:
+        self.decisions.append([kind, value])
+
+    def counts(self) -> Dict[str, int]:
+        out = {TIE: 0, DELAY: 0, CRASH: 0}
+        for kind, _ in self.decisions:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+
+class ControlledScheduler:
+    """Base class: records decisions and enforces the delay bounds.
+
+    Subclasses override ``_tie_break``/``_message_delay``/``_crash_time``;
+    the public methods wrap them with recording and clamping so every
+    strategy produces a legal, replayable trace.  ``bind`` is called by
+    the runner once the scenario's timing parameters are known.
+    """
+
+    kind = "base"
+
+    def __init__(self) -> None:
+        self.log = DecisionLog()
+        self._delay_floor = 0.0
+        self._nu = 1.0
+
+    def bind(self, min_message_delay: float, nu: float) -> None:
+        self._delay_floor = float(min_message_delay)
+        self._nu = float(nu)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON descriptor for repro files; see :func:`build_strategy`."""
+        return {"kind": self.kind}
+
+    # -- engine hook ---------------------------------------------------
+    def tie_break(self, group: Sequence[Any]) -> int:
+        index = self._tie_break(group)
+        self.log.record(TIE, index)
+        return index
+
+    # -- channel hook --------------------------------------------------
+    def message_delay(self, src: int, dst: int, message: Any) -> float:
+        delay = self._message_delay(src, dst, message)
+        delay = min(max(float(delay), self._delay_floor), self._nu)
+        self.log.record(DELAY, delay)
+        return delay
+
+    # -- crash hook ----------------------------------------------------
+    def crash_time(self, node_id: int, base: float) -> float:
+        time = max(0.0, float(self._crash_time(node_id, base)))
+        self.log.record(CRASH, time)
+        return time
+
+    # -- strategy body -------------------------------------------------
+    def _tie_break(self, group: Sequence[Any]) -> int:
+        return 0
+
+    def _message_delay(self, src: int, dst: int, message: Any) -> float:
+        return self._nu
+
+    def _crash_time(self, node_id: int, base: float) -> float:
+        return base
+
+
+class RandomStrategy(ControlledScheduler):
+    """Seeded uniform randomness at every choice point.
+
+    Crash times get a +/-5*nu jitter around the planned time so
+    campaigns also explore crash/message interleavings the scenario
+    author did not pin down.
+    """
+
+    kind = "random"
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "seed": self.seed}
+
+    def _tie_break(self, group: Sequence[Any]) -> int:
+        return self._rng.randrange(len(group))
+
+    def _message_delay(self, src: int, dst: int, message: Any) -> float:
+        span = self._nu - self._delay_floor
+        return self._delay_floor + span * self._rng.random()
+
+    def _crash_time(self, node_id: int, base: float) -> float:
+        return base + self._rng.uniform(-5.0 * self._nu, 5.0 * self._nu)
+
+
+class PCTStrategy(ControlledScheduler):
+    """Priority-based exploration in the PCT style.
+
+    Each *actor* (callback qualname plus up to two integer arguments,
+    which in this codebase identifies a node or directed link) gets a
+    lazily assigned random priority; tie groups are won by the
+    highest-priority actor.  ``depth - 1`` change points, drawn over
+    the expected number of tie decisions, demote the currently
+    top-priority actor, which is what lets PCT hold a rare ordering
+    exactly long enough to matter.
+
+    Delays are quantized to three levels so messages actually collide
+    at the same instant — with continuous delays, tie groups would
+    almost never form and the priorities would have nothing to decide.
+    """
+
+    kind = "pct"
+
+    def __init__(self, seed: int, depth: int = 3,
+                 expected_decisions: int = 500) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ConfigurationError("PCT depth must be >= 1")
+        self.seed = int(seed)
+        self.depth = int(depth)
+        self.expected_decisions = int(expected_decisions)
+        self._rng = random.Random(self.seed)
+        self._priorities: Dict[Tuple[Any, ...], float] = {}
+        self._decision_index = 0
+        self._change_points = sorted(
+            self._rng.randrange(max(1, self.expected_decisions))
+            for _ in range(self.depth - 1)
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "depth": self.depth,
+            "expected_decisions": self.expected_decisions,
+        }
+
+    @staticmethod
+    def _actor(event: Any) -> Tuple[Any, ...]:
+        key: List[Any] = [getattr(event.callback, "__qualname__",
+                                  repr(event.callback))]
+        for arg in event.args[:2]:
+            if isinstance(arg, int):
+                key.append(arg)
+        return tuple(key)
+
+    def _priority(self, actor: Tuple[Any, ...]) -> float:
+        if actor not in self._priorities:
+            self._priorities[actor] = self._rng.random()
+        return self._priorities[actor]
+
+    def _tie_break(self, group: Sequence[Any]) -> int:
+        while (self._change_points
+               and self._decision_index >= self._change_points[0]):
+            self._change_points.pop(0)
+            if self._priorities:
+                top = max(self._priorities, key=self._priorities.get)
+                self._priorities[top] = -self._rng.random()
+        self._decision_index += 1
+        best, best_priority = 0, float("-inf")
+        for index, event in enumerate(group):
+            priority = self._priority(self._actor(event))
+            if priority > best_priority:
+                best, best_priority = index, priority
+        return best
+
+    def _message_delay(self, src: int, dst: int, message: Any) -> float:
+        span = self._nu - self._delay_floor
+        level = self._rng.randrange(3)
+        return self._delay_floor + span * level / 2.0
+
+    def _crash_time(self, node_id: int, base: float) -> float:
+        return base + self._rng.uniform(-5.0 * self._nu, 5.0 * self._nu)
+
+
+class BoundedDFSStrategy(ControlledScheduler):
+    """One path of a bounded depth-first enumeration of tie-breaks.
+
+    Delays are pinned to ``nu`` so broadcasts land at the same instant
+    and form large tie groups — the branching the DFS enumerates.  The
+    strategy follows ``prefix`` for its first ``len(prefix)`` tie
+    decisions, takes choice 0 afterwards, and records the branching
+    factor it saw at each depth so :func:`dfs_prefixes` can expand the
+    frontier.
+    """
+
+    kind = "dfs"
+
+    def __init__(self, prefix: Sequence[int] = ()) -> None:
+        super().__init__()
+        self.prefix = [int(c) for c in prefix]
+        self.branching: List[int] = []
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "prefix": list(self.prefix)}
+
+    def _tie_break(self, group: Sequence[Any]) -> int:
+        depth = len(self.branching)
+        self.branching.append(len(group))
+        if depth < len(self.prefix):
+            return min(self.prefix[depth], len(group) - 1)
+        return 0
+
+
+def dfs_prefixes(prefix: Sequence[int],
+                 branching: Sequence[int]) -> List[List[int]]:
+    """Child prefixes to explore after running ``prefix``.
+
+    ``branching`` is the group-size trace the run recorded.  The
+    children extend ``prefix`` by one decision, covering every
+    alternative at the first depth past the prefix (choice 0 is what
+    the parent run already took).
+    """
+    depth = len(prefix)
+    if depth >= len(branching) or branching[depth] <= 1:
+        return []
+    return [list(prefix) + [choice]
+            for choice in range(1, branching[depth])]
+
+
+class ReplaySchedule(ControlledScheduler):
+    """Replays a recorded decision trace.
+
+    The flat trace is split into three per-type queues, so the replay
+    stays aligned even when shrinking removed decisions of one type.
+    An exhausted queue falls back to the deterministic defaults
+    (tie 0, delay ``nu``, crash at the planned time).
+    """
+
+    kind = "replay"
+
+    def __init__(self, decisions: Sequence[Sequence[Any]]) -> None:
+        super().__init__()
+        self._queues: Dict[str, List[Any]] = {TIE: [], DELAY: [], CRASH: []}
+        for kind, value in decisions:
+            if kind not in self._queues:
+                raise ConfigurationError(
+                    f"unknown decision kind {kind!r} in trace")
+            self._queues[kind].append(value)
+        self._cursor = {TIE: 0, DELAY: 0, CRASH: 0}
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind}
+
+    def _next(self, kind: str) -> Optional[Any]:
+        queue = self._queues[kind]
+        cursor = self._cursor[kind]
+        if cursor >= len(queue):
+            return None
+        self._cursor[kind] = cursor + 1
+        return queue[cursor]
+
+    def _tie_break(self, group: Sequence[Any]) -> int:
+        value = self._next(TIE)
+        if value is None:
+            return 0
+        return min(int(value), len(group) - 1)
+
+    def _message_delay(self, src: int, dst: int, message: Any) -> float:
+        value = self._next(DELAY)
+        return self._nu if value is None else float(value)
+
+    def _crash_time(self, node_id: int, base: float) -> float:
+        value = self._next(CRASH)
+        return base if value is None else float(value)
+
+
+def build_strategy(descriptor: Dict[str, Any]) -> ControlledScheduler:
+    """Rebuild a strategy from its ``describe()`` dict (repro files)."""
+    kind = descriptor.get("kind")
+    if kind == "random":
+        return RandomStrategy(seed=descriptor["seed"])
+    if kind == "pct":
+        return PCTStrategy(
+            seed=descriptor["seed"],
+            depth=descriptor.get("depth", 3),
+            expected_decisions=descriptor.get("expected_decisions", 500),
+        )
+    if kind == "dfs":
+        return BoundedDFSStrategy(prefix=descriptor.get("prefix", ()))
+    if kind == "replay":
+        return ReplaySchedule(descriptor.get("decisions", ()))
+    raise ConfigurationError(f"unknown strategy kind {kind!r}")

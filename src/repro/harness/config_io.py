@@ -14,12 +14,20 @@ from typing import Any, Dict, TextIO
 
 from repro.errors import ConfigurationError
 from repro.mobility import GaussMarkov, RandomWalk, RandomWaypoint
+from repro.mobility.trace import ScriptedMobility, ScriptedMove
 from repro.net.geometry import Point
 from repro.runtime.simulation import ScenarioConfig
 from repro.sim.clock import TimeBounds
 
 #: Declarative mobility specs: name -> factory(params) -> model-builder.
 _MOBILITY_KINDS = {
+    # Exact, repeatable movement: {"moves": [[time, x, y, speed], ...]}.
+    # Serializable (unlike a hand-built mobility_factory), which is what
+    # lets exploration repro files carry Figure 6-style scenarios.
+    "scripted": lambda p: ScriptedMobility(
+        [ScriptedMove(float(t), Point(float(x), float(y)), float(s))
+         for t, x, y, s in p["moves"]]
+    ),
     "waypoint": lambda p: RandomWaypoint(
         p["width"], p["height"],
         speed_range=tuple(p.get("speed_range", (0.5, 1.5))),

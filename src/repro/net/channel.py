@@ -184,6 +184,13 @@ class ChannelLayer:
         # Bumped on every link_down; lets a running drain notice that a
         # delivery callback invalidated its link/incarnation snapshot.
         self._mutations = 0
+        #: Optional delay override hook (set post-construction by the
+        #: exploration subsystem): ``delay_source(src, dst, message)``
+        #: returns the per-hop delay, replacing the rng draw.  The
+        #: FIFO clamp still applies, so controlled delays keep per-link
+        #: delivery order well-defined.  ``None`` (the default) costs
+        #: one attribute test per send.
+        self.delay_source: Optional[Callable[[int, int, Message], float]] = None
         self.stats = ChannelStats()
 
     # ------------------------------------------------------------------
@@ -201,8 +208,11 @@ class ChannelLayer:
                 f"(message {message.kind})"
             )
         sim = self._sim
+        delay_source = self.delay_source
         floor_delay = self._delay_floor
-        if floor_delay is None:
+        if delay_source is not None:
+            delay = delay_source(src, dst, message)
+        elif floor_delay is None:
             delay = self._nu
         else:
             delay = floor_delay + self._delay_span * self._rng_random()

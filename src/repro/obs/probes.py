@@ -39,6 +39,16 @@ The probe catalogue (all instrument names live here, nowhere else):
                                             scheduled (kinetic path)
 ``mobility.batch_size``         histogram   movers per batched position
                                             update (kinetic path)
+``explore.decisions``           counter     controlled choice-point
+                                            decisions, keyed by kind
+                                            (tie / delay / crash);
+                                            incremented by
+                                            :mod:`repro.explore.runner`
+``explore.monitor_checks``      counter     invariant-monitor checks
+                                            executed during a controlled
+                                            run
+``explore.violations``          counter     invariant violations, keyed
+                                            by monitor name
 ==============================  ==========  =================================
 """
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
 
+from repro._version import __version__
 from repro.errors import ConfigurationError
 
 #: Bump on any breaking change to the report layout.  Loaders accept
@@ -36,6 +37,11 @@ class RunReport:
     """Everything one finished run exposes, JSON-ready."""
 
     schema_version: int = SCHEMA_VERSION
+    #: Library version that produced the report (``repro.__version__``);
+    #: defaults to the running library's own version so hand-built
+    #: reports are stamped too.  Loading tolerates any value — the
+    #: schema version, not the package version, gates compatibility.
+    version: str = __version__
     #: Declarative scenario (``config_to_dict`` output) or a minimal
     #: ``{"algorithm": ...}`` stub when the scenario does not serialize.
     config: Dict[str, Any] = field(default_factory=dict)
@@ -59,6 +65,9 @@ class RunReport:
     warnings: List[Dict[str, Any]] = field(default_factory=list)
     #: Wall-clock engine profile; only present when profiling was on.
     profile: Optional[Dict[str, Any]] = None
+    #: Exploration summary (strategy, decision counts, violation) when
+    #: the run was driven by :mod:`repro.explore`; ``None`` otherwise.
+    exploration: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Serialization
@@ -161,6 +170,19 @@ class RunReport:
             lines.append(f"watchdog warnings: {len(self.warnings)}")
         if self.probes:
             lines.append(f"probe metrics: {len(self.probes)}")
+        if self.exploration is not None:
+            violation = self.exploration.get("violation")
+            if violation:
+                lines.append(
+                    f"exploration: VIOLATION of {violation.get('monitor')} "
+                    f"at step {violation.get('step')} "
+                    f"(t={violation.get('time', 0.0):g})"
+                )
+            else:
+                lines.append(
+                    "exploration: clean under strategy "
+                    f"{self.exploration.get('strategy', {}).get('kind', '?')}"
+                )
         return lines
 
 

@@ -41,6 +41,16 @@ Design notes
   what per-item scheduling would produce; only the number of heap
   operations (and hence ``executed_events`` and listener firings)
   shrinks.
+* **Controlled tie-breaks.**  Events sharing a ``(time, priority)``
+  pair normally run in insertion order — an arbitrary but fixed
+  serialization of logically concurrent work.  A *choice controller*
+  (:meth:`set_choice_controller`, used by :mod:`repro.explore`) is
+  consulted whenever two or more live events are tied and may pick any
+  of them to run next; the others are re-pushed with their original
+  tickets, so the controller is consulted again as the group shrinks
+  and can realize every permutation of the tie group.  Controllers see
+  only genuinely concurrent events — they can never reorder across
+  distinct timestamps or priority classes.
 """
 
 from __future__ import annotations
@@ -76,6 +86,10 @@ class Simulator:
         # run loop hoists this once, so the unprofiled cost is one
         # ``is None`` test per executed event.
         self._profiler = None
+        # Optional tie-break controller (see repro.explore.schedule);
+        # hoisted the same way, so uncontrolled runs pay one ``is None``
+        # test per event.
+        self._choice_controller = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -238,6 +252,34 @@ class Simulator:
         """The attached profiler, or ``None``."""
         return self._profiler
 
+    def set_choice_controller(self, controller) -> None:
+        """Install a same-instant tie-break controller.
+
+        ``controller.tie_break(group)`` is called whenever two or more
+        live events share the next ``(time, priority)`` pair; ``group``
+        is the tied events in insertion order and the return value is
+        the index of the event to execute next.  The remaining events
+        are re-pushed unchanged, so the controller is consulted again
+        as the group shrinks — it has full permutation authority over
+        the tie group and no authority over anything else.
+
+        Must be called outside :meth:`run` (the hot loop snapshots the
+        handle once per run call, like the profiler).
+        """
+        if self._running:
+            raise SimulationError(
+                "cannot install a choice controller while running"
+            )
+        self._choice_controller = controller
+
+    def clear_choice_controller(self) -> None:
+        """Remove the installed tie-break controller (if any)."""
+        if self._running:
+            raise SimulationError(
+                "cannot remove a choice controller while running"
+            )
+        self._choice_controller = None
+
     def add_listener(self, listener: Callable[["Simulator"], None]) -> None:
         """Register a post-event observer (runs after every executed event)."""
         self._listeners.append(listener)
@@ -295,6 +337,7 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         profiler = self._profiler
+        controller = self._choice_controller
         try:
             while heap:
                 if self._stopped:
@@ -309,7 +352,10 @@ class Simulator:
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heappop(heap)
+                if controller is None:
+                    heappop(heap)
+                else:
+                    event = self._pop_with_controller(controller)
                 self._now = event.time
                 # Mark fired up front: a cancel() of the in-flight event
                 # from inside its own callback must stay a no-op and must
@@ -336,6 +382,45 @@ class Simulator:
             self._running = False
             self._deadline = None
         return self._now
+
+    def _pop_with_controller(self, controller) -> ScheduledEvent:
+        """Pop the next event, letting a controller resolve same-key ties.
+
+        Collects every live event tied with the head on ``(time,
+        priority)``; with two or more, the controller picks which runs
+        now and the rest go back on the heap with their original
+        tickets (so a later consultation sees the same relative order).
+        The head is known live and in-bounds — :meth:`run` checked.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        first = heappop(heap)
+        if not heap:
+            return first
+        group = [first]
+        time = first.time
+        priority = int(first.priority)
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heappop(heap)
+                self._cancelled_in_heap -= 1
+                continue
+            if head.time != time or int(head.priority) != priority:
+                break
+            group.append(heappop(heap))
+        if len(group) == 1:
+            return first
+        index = controller.tie_break(group)
+        if not isinstance(index, int) or not 0 <= index < len(group):
+            raise SimulationError(
+                f"tie_break returned {index!r} for a group of {len(group)}"
+            )
+        chosen = group.pop(index)
+        heappush = heapq.heappush
+        for event in group:
+            heappush(heap, event)
+        return chosen
 
     def run_until_quiet(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain (bounded by ``max_events``)."""
