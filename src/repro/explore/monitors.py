@@ -105,6 +105,27 @@ class InvariantMonitor:
     def _links(self):
         return self.simulation.topology.links()
 
+    def _link_pairs(self):
+        """Links with both endpoint harnesses hosted here.
+
+        In a sharded run one endpoint of a boundary link may be a ghost
+        (no local harness); the owning shard's monitor sees that node's
+        state, so pair invariants straddling a boundary are checked by
+        whichever shard owns both endpoints of a *conflict* — and an
+        exclusion/fork conflict always has a real harness behind each
+        eating or fork-holding endpoint on its own shard.
+        """
+        harnesses = self.simulation.harnesses
+        get = harnesses.get
+        for a, b in self._links():
+            harness_a = get(a)
+            if harness_a is None:
+                continue
+            harness_b = get(b)
+            if harness_b is None:
+                continue
+            yield a, b, harness_a, harness_b
+
 
 class ExclusionMonitor(InvariantMonitor):
     """No two current neighbors eat at the same time."""
@@ -112,10 +133,9 @@ class ExclusionMonitor(InvariantMonitor):
     name = "exclusion"
 
     def check(self) -> Optional[Dict[str, Any]]:
-        harnesses = self.simulation.harnesses
-        for a, b in self._links():
-            if (harnesses[a].state is NodeState.EATING
-                    and harnesses[b].state is NodeState.EATING):
+        for a, b, harness_a, harness_b in self._link_pairs():
+            if (harness_a.state is NodeState.EATING
+                    and harness_b.state is NodeState.EATING):
                 return {"link": [a, b]}
         return None
 
@@ -126,10 +146,9 @@ class ForkUniquenessMonitor(InvariantMonitor):
     name = "fork-uniqueness"
 
     def check(self) -> Optional[Dict[str, Any]]:
-        harnesses = self.simulation.harnesses
-        for a, b in self._links():
-            forks_a = getattr(harnesses[a].algorithm, "forks", None)
-            forks_b = getattr(harnesses[b].algorithm, "forks", None)
+        for a, b, harness_a, harness_b in self._link_pairs():
+            forks_a = getattr(harness_a.algorithm, "forks", None)
+            forks_b = getattr(harness_b.algorithm, "forks", None)
             if forks_a is None or forks_b is None:
                 continue
             if forks_a.holds(b) and forks_b.holds(a):
@@ -283,11 +302,10 @@ class PriorityMonitor(InvariantMonitor):
         self.check_cycles = bool(self.params.get("cycles", True))
 
     def check(self) -> Optional[Dict[str, Any]]:
-        harnesses = self.simulation.harnesses
         edges: Dict[int, List[int]] = {}
-        for a, b in self._links():
-            alg_a = harnesses[a].algorithm
-            alg_b = harnesses[b].algorithm
+        for a, b, harness_a, harness_b in self._link_pairs():
+            alg_a = harness_a.algorithm
+            alg_b = harness_b.algorithm
             higher_a = getattr(alg_a, "higher", None)
             higher_b = getattr(alg_b, "higher", None)
             if higher_a is None or higher_b is None:

@@ -123,15 +123,27 @@ def _run_seed(
     seed: int,
     metrics: Dict[str, MetricFn],
     report_dir: Optional[str] = None,
+    shards: int = 1,
+    max_speed: Optional[float] = None,
 ) -> Dict[str, float]:
     """Execute one seeded run and extract its scalar metrics.
 
     Module-level so worker processes can unpickle it.  With
     ``report_dir`` set, the run's full :class:`RunReport` is saved as
-    ``<scenario_key>.json`` alongside the scalar extraction.
+    ``<scenario_key>.json`` alongside the scalar extraction.  With
+    ``shards > 1`` the run goes through the sharded engine (shards
+    hosted in-process: the seed fan-out is already the process-level
+    parallelism here).
     """
     seeded = dataclasses.replace(config, seed=seed)
-    result = Simulation(seeded).run(until=until)
+    if shards > 1:
+        from repro.sim.sharded import ShardedEngine
+
+        result = ShardedEngine(
+            seeded, num_shards=shards, workers=1, max_speed=max_speed
+        ).run(until=until)
+    else:
+        result = Simulation(seeded).run(until=until)
     if report_dir is not None:
         directory = Path(report_dir)
         directory.mkdir(parents=True, exist_ok=True)
@@ -147,6 +159,8 @@ def _collect_samples(
     workers: int,
     cache: Optional[ResultCache],
     report_dir: Optional[str] = None,
+    shards: int = 1,
+    max_speed: Optional[float] = None,
 ) -> List[Dict[str, float]]:
     """Metric dicts for each (config, until, seed) job, in job order.
 
@@ -170,8 +184,13 @@ def _collect_samples(
 
     # Keep the no-report call shape identical to the historical one so
     # instrumented wrappers around _run_seed (tests, user tooling) only
-    # need the extra argument when reports were requested.
-    extra = (report_dir,) if report_dir is not None else ()
+    # need the extra arguments when reports or shards were requested.
+    if shards != 1:
+        extra: Tuple = (report_dir, shards, max_speed)
+    elif report_dir is not None:
+        extra = (report_dir,)
+    else:
+        extra = ()
     if workers > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
@@ -205,6 +224,8 @@ def replicate(
     workers: int = 1,
     cache: CacheArg = None,
     report_dir: Union[str, Path, None] = None,
+    shards: int = 1,
+    max_speed: Optional[float] = None,
 ) -> Dict[str, Estimate]:
     """Run a scenario under each seed; estimate each scalar metric.
 
@@ -216,17 +237,24 @@ def replicate(
             The estimates are identical either way.
         cache: ``True`` for the default on-disk cache, a directory path,
             a :class:`~repro.harness.cache.ResultCache`, or ``None``
-            (default) for no caching.
+            (default) for no caching.  Ignored when ``shards > 1``:
+            cache keys do not encode the shard count, and multi-shard
+            runs are not event-order identical to unsharded ones.
         report_dir: directory receiving one ``RunReport`` JSON per
             *executed* seed, named by scenario key.  Cached seeds do not
             re-run and therefore write no report; clear or bypass the
             cache to materialize reports for every seed.
+        shards: spatial shards per run (1 = the classic engine).  The
+            shards of one run are hosted in-process — ``workers`` is
+            already the process-level fan-out here.
+        max_speed: speed bound for sharded runs with mobility.
     """
     seed_list = list(seeds)
-    store = resolve_cache(cache)
+    store = resolve_cache(cache) if shards == 1 else None
     samples = _collect_samples(
         [(config, until, seed) for seed in seed_list], metrics, workers,
         store, str(report_dir) if report_dir is not None else None,
+        shards, max_speed,
     )
     return {
         name: estimate([sample[name] for sample in samples])
@@ -255,6 +283,8 @@ def sweep(
     workers: int = 1,
     cache: CacheArg = None,
     report_dir: Union[str, Path, None] = None,
+    shards: int = 1,
+    max_speed: Optional[float] = None,
 ) -> List[SweepPoint]:
     """Replicate across the cartesian product of config-field overrides.
 
@@ -269,6 +299,8 @@ def sweep(
     ``report_dir`` behaves as in :func:`replicate`: one ``RunReport``
     JSON per executed (point, seed) run, named by scenario key so
     different grid points never collide; cache hits write nothing.
+    ``shards``/``max_speed`` behave as in :func:`replicate` (the cache
+    is likewise bypassed for sharded sweeps).
     """
     names = list(grid)
     combos = list(itertools.product(*(grid[name] for name in names)))
@@ -282,10 +314,11 @@ def sweep(
         for point_config in configs
         for seed in seed_list
     ]
-    store = resolve_cache(cache)
+    store = resolve_cache(cache) if shards == 1 else None
     samples = _collect_samples(
         jobs, metrics, workers, store,
         str(report_dir) if report_dir is not None else None,
+        shards, max_speed,
     )
     points: List[SweepPoint] = []
     for i, combo in enumerate(combos):

@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.mobility.kinetic import KineticEngine
@@ -136,6 +136,24 @@ class MobilityController:
     def teleport(self, node_id: int, destination: Point) -> None:
         """Relocate a node instantaneously (still flagged as a move)."""
         self.move_node(node_id, destination, speed=0.0)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the sharded engine's barrier exchange)
+    # ------------------------------------------------------------------
+    def attached_nodes(self) -> List[int]:
+        """Nodes with a mobility model, sorted."""
+        return sorted(self._models)
+
+    def position_now(self, node_id: int) -> Point:
+        """The node's true current position, mid-flight aware.
+
+        On the kinetic path a flying node's topology position is
+        materialized lazily, so this consults the motion record; on the
+        fixed-step path the topology is always current.
+        """
+        if self._kinetic is not None:
+            return self._kinetic.true_position(node_id)
+        return self._topology.position(node_id)
 
     # ------------------------------------------------------------------
     def _consult(self, node_id: int) -> None:

@@ -444,6 +444,17 @@ class KineticEngine:
                 if not pairs:
                     del self._pairs_of[n]
 
+    def true_position(self, node_id: int, t: Optional[float] = None) -> Point:
+        """Exact position at time ``t`` (default: now), mid-flight aware.
+
+        The sharded engine's barrier exchange reports *true* mover
+        positions, not the lazily materialized topology positions, so
+        ghost mirrors on other shards track the continuum trajectory.
+        """
+        return self._true_position(
+            node_id, self._sim.now if t is None else t
+        )
+
     # ------------------------------------------------------------------
     # Crossing math
     # ------------------------------------------------------------------

@@ -191,7 +191,31 @@ class ChannelLayer:
         #: delivery order well-defined.  ``None`` (the default) costs
         #: one attribute test per send.
         self.delay_source: Optional[Callable[[int, int, Message], float]] = None
+        # Sharded mode: destinations hosted on another shard, plus the
+        # callback that forwards a finalized transmission to the mailbox
+        # plane.  ``None`` (unsharded) costs one ``is not None`` test
+        # per send.
+        self._remote_nodes = None
+        self._remote_send: Optional[
+            Callable[[int, int, Message, float], None]
+        ] = None
         self.stats = ChannelStats()
+
+    def bind_remote(
+        self,
+        remote_nodes,
+        forward: Callable[[int, int, Message, float], None],
+    ) -> None:
+        """Route sends addressed to ``remote_nodes`` through ``forward``.
+
+        The sharded engine passes the shard's ghost-node set (live — new
+        ghosts become routable as they appear) and its outbox append.
+        The local send half (delay draw, FIFO clamp, stats, trace) runs
+        exactly as for a local message; only delivery happens remotely,
+        via :meth:`receive_remote` on the owning shard.
+        """
+        self._remote_nodes = remote_nodes
+        self._remote_send = forward
 
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, message: Message) -> None:
@@ -223,6 +247,17 @@ class ChannelLayer:
         if floor is not None and arrival <= floor:
             arrival = floor + TIME_EPSILON
         last[key] = arrival
+        remote = self._remote_nodes
+        if remote is not None and dst in remote:
+            stats = self.stats
+            stats.sent += 1
+            kind = message.kind
+            sent_by_kind = stats.sent_by_kind
+            sent_by_kind[kind] = sent_by_kind.get(kind, 0) + 1
+            if self._trace is not None:
+                self._trace.record(sim._now, "msg.send", src, dst=dst, kind=kind)
+            self._remote_send(src, dst, message, arrival)
+            return
         incarnation = self._incarnation.get(
             key if src < dst else (dst, src), 0
         )
@@ -394,6 +429,34 @@ class ChannelLayer:
         else:
             self._inflight.pop(key, None)
             self._queues.pop(key, None)
+
+    # ------------------------------------------------------------------
+    def receive_remote(self, src: int, dst: int, message: Message) -> None:
+        """Deliver one cross-shard message at its (already reached)
+        arrival time.
+
+        The sending shard ran the full send half; this is the delivery
+        half, scheduled through ``Simulator.ingest`` on the owning
+        shard.  Link existence is checked here, at delivery time: the
+        link view may have changed during the window (either side moved
+        or crashed out), and a missing link drops the message exactly
+        like the in-shard paths do.  No incarnation check is needed —
+        a link that died and re-formed across the barrier is a fresh
+        link whose existence test already decides correctly.
+        """
+        if not self._topology.has_link(src, dst):
+            self.stats.note_dropped(message.kind)
+            if self._trace is not None:
+                self._trace.record(
+                    self._sim.now, "msg.drop", src, dst=dst, kind=message.kind
+                )
+            return
+        self.stats.note_delivered(message.kind)
+        if self._trace is not None:
+            self._trace.record(
+                self._sim.now, "msg.recv", dst, src=src, kind=message.kind
+            )
+        self._deliver(src, dst, message)
 
     # ------------------------------------------------------------------
     def _arrive(self, src: int, dst: int, message: Message, incarnation: int) -> None:

@@ -143,6 +143,17 @@ class DynamicTopology:
                 diff.added.append(link_key(node_id, other))
         return diff
 
+    def upsert_node(self, node_id: int, position: Point) -> LinkDiff:
+        """Add the node if absent, else move it to ``position``.
+
+        Ghost/halo ingestion in the sharded engine: the same barrier
+        update stream carries both first appearances and refreshes of
+        boundary-adjacent remote nodes.
+        """
+        if node_id in self._positions:
+            return self.set_position(node_id, position)
+        return self.add_node(node_id, position)
+
     def remove_node(self, node_id: int) -> LinkDiff:
         """Remove a node; returns the links its departure destroyed."""
         self._require(node_id)

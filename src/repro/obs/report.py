@@ -65,6 +65,10 @@ class RunReport:
     warnings: List[Dict[str, Any]] = field(default_factory=list)
     #: Wall-clock engine profile; only present when profiling was on.
     profile: Optional[Dict[str, Any]] = None
+    #: Host-resource footprint (wall_time_s, events_per_sec,
+    #: peak_rss_kb); populated, like ``profile``, only when profiling
+    #: was on — fixed-seed report comparisons see None.
+    resources: Optional[Dict[str, Any]] = None
     #: Exploration summary (strategy, decision counts, violation) when
     #: the run was driven by :mod:`repro.explore`; ``None`` otherwise.
     exploration: Optional[Dict[str, Any]] = None

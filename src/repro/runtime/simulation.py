@@ -10,6 +10,7 @@ and runs it.  This is the facade the examples and benchmarks use.
 from __future__ import annotations
 
 import statistics
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -33,8 +34,25 @@ from repro.runtime.node import NodeHarness
 from repro.runtime.registry import BuildContext, resolve
 from repro.sim.clock import TimeBounds
 from repro.sim.engine import Simulator
+from repro.sim.partition import ShardContext
 from repro.sim.rng import RandomSource
 from repro.sim.trace import TraceLog
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-Unix platforms
+    _resource = None
+
+
+def peak_rss_kb() -> Optional[int]:
+    """This process's peak resident set size in KiB (None off-Unix)."""
+    if _resource is None:  # pragma: no cover
+        return None
+    rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux but bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)
 
 
 @dataclass
@@ -123,6 +141,10 @@ class SimulationResult:
     locality: Optional[Dict[str, Any]] = None
     #: Wall-clock engine profile when ``config.profile`` was set.
     profile: Optional[Dict[str, Any]] = None
+    #: Host-resource footprint: wall_time_s, events_per_sec, peak_rss_kb
+    #: (always collected; surfaced in the report only under
+    #: ``config.profile`` because it is non-deterministic).
+    resources: Optional[Dict[str, Any]] = None
 
     @property
     def response_times(self) -> List[float]:
@@ -156,18 +178,30 @@ class SimulationResult:
                 "seed": self.config.seed,
                 "nodes": len(self.config.positions),
             }
+        # Wall-clock throughput keys are non-deterministic; the report's
+        # engine block keeps only the virtual-time counters so
+        # fixed-seed reports stay bit-identical.
+        engine = dict(self.engine)
+        engine.pop("wall_time_s", None)
+        engine.pop("events_per_sec", None)
+        profiling = getattr(self.config, "profile", False)
         return RunReport(
             config=config_dict,
             duration=self.duration,
             response=self._response_summary(),
             nodes=self._node_summary(),
             channel=dict(self.channel),
-            engine=dict(self.engine),
+            engine=engine,
             probes=dict(self.probes),
             starved=list(self.starved),
             locality=self.locality,
             warnings=list(self.watchdog_warnings),
             profile=self.profile,
+            resources=(
+                dict(self.resources)
+                if profiling and self.resources is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -215,19 +249,41 @@ class SimulationResult:
 
 
 class Simulation:
-    """A fully wired simulation instance."""
+    """A fully wired simulation instance.
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    With a :class:`~repro.sim.partition.ShardContext` the instance hosts
+    one spatial shard of a larger run: the topology holds the shard's
+    owned nodes plus ghost mirrors of boundary-adjacent remote nodes,
+    while harnesses, workload, mobility models and crash injections
+    exist only for owned nodes.  Sends addressed to a ghost are diverted
+    into the shard outbox for the coordinating engine to route.  Every
+    per-node RNG substream is keyed by node id alone, so an owned node
+    behaves identically regardless of which shard hosts it.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        shard: Optional[ShardContext] = None,
+    ) -> None:
         self.config = config
+        self.shard = shard
         self.sim = Simulator()
         self.rng = RandomSource(config.seed)
         self.trace = TraceLog(enabled=config.trace)
         self.bounds = config.bounds
 
+        if shard is None:
+            local_ids: List[int] = list(range(len(config.positions)))
+            member_ids = local_ids
+        else:
+            local_ids = sorted(shard.local_nodes)
+            member_ids = sorted(shard.local_nodes | shard.ghost_nodes)
+
         # --- network substrate -------------------------------------
         self.topology = DynamicTopology(radio_range=config.radio_range)
-        for node_id, position in enumerate(config.positions):
-            self.topology.add_node(node_id, position)
+        for node_id in member_ids:
+            self.topology.add_node(node_id, config.positions[node_id])
         self.linklayer = LinkLayer(self.sim, self.topology, trace=self.trace)
         self.channel = ChannelLayer(
             self.sim,
@@ -239,6 +295,14 @@ class Simulation:
             per_message=config.channel_per_message,
         )
         self.linklayer.bind_channel(self.channel)
+        if shard is not None:
+            outbox = shard.outbox
+
+            def _to_outbox(src: int, dst: int, message: object,
+                           arrival: float) -> None:
+                outbox.append((src, dst, message, arrival))
+
+            self.channel.bind_remote(shard.ghost_nodes, _to_outbox)
 
         # --- metrics & monitors -------------------------------------
         self.metrics = MetricsCollector()
@@ -284,7 +348,7 @@ class Simulation:
             factory = config.algorithm(self.context)
         else:
             factory = resolve(config.algorithm, self.context)
-        for node_id in range(n):
+        for node_id in local_ids:
             harness = NodeHarness(
                 node_id,
                 self.sim,
@@ -300,9 +364,18 @@ class Simulation:
             self.harnesses[node_id] = harness
             self.linklayer.register(node_id, harness)
         # Initial per-link protocol state (forks, priorities, colors).
+        # In shard mode a link may reach a ghost endpoint, which has no
+        # harness here; its owning shard bootstraps the same link from
+        # its side, and every bootstrap_peer implementation decides
+        # initial ownership from the two node ids alone, so both sides
+        # agree without talking.
         for a, b in self.topology.links():
-            self.harnesses[a].algorithm.bootstrap_peer(b)
-            self.harnesses[b].algorithm.bootstrap_peer(a)
+            harness_a = self.harnesses.get(a)
+            if harness_a is not None:
+                harness_a.algorithm.bootstrap_peer(b)
+            harness_b = self.harnesses.get(b)
+            if harness_b is not None:
+                harness_b.algorithm.bootstrap_peer(a)
 
         # --- workload ------------------------------------------------
         if config.scripted_hunger is not None:
@@ -330,7 +403,7 @@ class Simulation:
             fixed_step=config.mobility_fixed_step,
         )
         if config.mobility_factory is not None:
-            for node_id in range(n):
+            for node_id in local_ids:
                 model = config.mobility_factory(node_id)
                 if model is not None:
                     self.mobility.attach(node_id, model)
@@ -344,7 +417,18 @@ class Simulation:
             metrics=self.metrics,
             mobility=self.mobility,
         )
-        self.failures.schedule_all(config.crashes)
+        crash_plan = config.crashes
+        if shard is not None:
+            # A remote node's crash plays out on its owning shard; the
+            # ghost here just stops emitting (frozen position, absorbed
+            # messages), which is exactly what a silent crash looks like
+            # from the outside.
+            crash_plan = [
+                (time, node_id)
+                for time, node_id in crash_plan
+                if node_id in shard.local_nodes
+            ]
+        self.failures.schedule_all(crash_plan)
 
     # ------------------------------------------------------------------
     def algorithm_of(self, node_id: int):
@@ -369,8 +453,16 @@ class Simulation:
             else 0.2 * until
         )
         locality: Optional[Dict[str, Any]] = None
-        if self.config.crashes:
+        # Keyed on the *scheduled* crashes, not the config plan: a shard
+        # whose local slice of the plan is empty has no crash to locate.
+        if self.failures.crashes:
             locality = self.locality_report().to_dict()
+        engine_stats = self.sim.stats()
+        resources = {
+            "wall_time_s": engine_stats["wall_time_s"],
+            "events_per_sec": engine_stats["events_per_sec"],
+            "peak_rss_kb": peak_rss_kb(),
+        }
         return SimulationResult(
             config=self.config,
             duration=self.sim.now,
@@ -380,7 +472,7 @@ class Simulation:
             starved=self.metrics.starving(self.sim.now, threshold),
             cs_entries=self.metrics.total_cs_entries(),
             channel=self.channel.stats.snapshot(),
-            engine=self.sim.stats(),
+            engine=engine_stats,
             probes=(
                 self.registry.snapshot() if self.registry is not None else {}
             ),
@@ -393,6 +485,7 @@ class Simulation:
             profile=(
                 self.profiler.summary() if self.profiler is not None else None
             ),
+            resources=resources,
         )
 
     # ------------------------------------------------------------------

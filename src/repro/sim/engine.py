@@ -81,6 +81,12 @@ class Simulator:
         self._heap_high_water = 0
         self._compactions = 0
         self._deadline: Optional[float] = None
+        # Standing cap on how far run() may advance, independent of the
+        # per-call ``until``.  The sharded engine sets this to the next
+        # barrier time so a shard can never execute past what a
+        # neighbouring shard could still send it.
+        self._safe_horizon: Optional[float] = None
+        self._wall_time_s = 0.0
         self._listeners: List[Callable[["Simulator"], None]] = []
         # Optional wall-clock profiler (see repro.obs.profiler).  The
         # run loop hoists this once, so the unprofiled cost is one
@@ -129,14 +135,27 @@ class Simulator:
         """The ``until`` bound of the active :meth:`run` call, if any."""
         return self._deadline
 
+    @property
+    def wall_time_s(self) -> float:
+        """Total wall-clock seconds spent inside :meth:`run` calls."""
+        return self._wall_time_s
+
     def stats(self) -> Dict[str, object]:
-        """Engine counters as one JSON-ready dict (for run reports)."""
+        """Engine counters as one JSON-ready dict (for run reports).
+
+        ``wall_time_s`` and ``events_per_sec`` are wall-clock derived
+        and therefore non-deterministic; deterministic consumers (the
+        canonical RunReport) strip them.
+        """
+        wall = self._wall_time_s
         return {
             "executed_events": self._executed_events,
             "pending_events": self.pending_events,
             "heap_high_water": self._heap_high_water,
             "compactions": self._compactions,
             "now": self._now,
+            "wall_time_s": wall,
+            "events_per_sec": (self._executed_events / wall) if wall > 0 else 0.0,
         }
 
     @property
@@ -280,6 +299,41 @@ class Simulator:
             )
         self._choice_controller = None
 
+    def set_safe_horizon(self, time: Optional[float]) -> None:
+        """Cap how far :meth:`run` may advance, across run calls.
+
+        Conservative parallel simulation: the horizon is the latest time
+        this engine is *guaranteed* to have received every external
+        event for, so the hot loop treats it as an implicit ``until``
+        (whichever is earlier wins).  ``None`` clears the cap.
+        """
+        if self._running:
+            raise SimulationError("cannot move the safe horizon while running")
+        if time is not None and time < self._now:
+            raise SimulationError(
+                f"safe horizon {time} is behind the clock ({self._now})"
+            )
+        self._safe_horizon = time
+
+    def ingest(
+        self,
+        batch: List[Tuple[float, Callable[..., None], Tuple[Any, ...]]],
+    ) -> int:
+        """Mailbox ingress: schedule externally produced events.
+
+        ``batch`` holds ``(time, callback, args)`` triples, pre-sorted by
+        the caller into the deterministic cross-shard order; each is
+        scheduled at ``max(time, now)`` so a timestamp that landed exactly
+        on the barrier cannot raise.  Returns the number ingested.
+        """
+        if self._running:
+            raise SimulationError("cannot ingest events while running")
+        now = self._now
+        schedule_at = self.schedule_at
+        for time, callback, args in batch:
+            schedule_at(time if time > now else now, callback, *args)
+        return len(batch)
+
     def add_listener(self, listener: Callable[["Simulator"], None]) -> None:
         """Register a post-event observer (runs after every executed event)."""
         self._listeners.append(listener)
@@ -330,9 +384,13 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
+        horizon = self._safe_horizon
+        if horizon is not None and (until is None or horizon < until):
+            until = horizon
         self._running = True
         self._stopped = False
         self._deadline = until
+        wall_started = perf_counter()
         executed_this_call = 0
         heap = self._heap
         heappop = heapq.heappop
@@ -381,6 +439,7 @@ class Simulator:
         finally:
             self._running = False
             self._deadline = None
+            self._wall_time_s += perf_counter() - wall_started
         return self._now
 
     def _pop_with_controller(self, controller) -> ScheduledEvent:

@@ -1,0 +1,403 @@
+"""Tests for the sharded engine: partitioning, lookahead, equivalence.
+
+The load-bearing guarantees here are the ISSUE's acceptance criteria:
+``ShardedEngine(num_shards=1)`` is bit-identical to the plain engine
+(same event order, same RunReport JSON) across the fuzz scenario
+families, multi-shard results are independent of the worker count, and
+per-shard invariant monitors preserve the verdicts the unsharded
+monitors reach.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore.scenarios import scenario_pool
+from repro.harness.config_io import config_from_dict
+from repro.harness.multiseed import DEFAULT_METRICS, replicate
+from repro.net.geometry import Point, line_positions
+from repro.runtime.simulation import ScenarioConfig, Simulation, peak_rss_kb
+from repro.sim.clock import TimeBounds
+from repro.sim.engine import Simulator
+from repro.sim.partition import (
+    HALO_EPSILON,
+    ShardContext,
+    build_partition,
+    conservative_lookahead,
+    halo_width,
+)
+from repro.sim.sharded import ShardedEngine, run_sharded
+
+SAFETY_SPECS = [
+    {"name": "exclusion", "params": {}},
+    {"name": "fork-uniqueness", "params": {}},
+    {"name": "priority", "params": {}},
+]
+
+
+def _line_config(n=8, algorithm="alg2", seed=3, **extra):
+    return ScenarioConfig(
+        positions=line_positions(n, spacing=1.0),
+        radio_range=1.1,
+        algorithm=algorithm,
+        seed=seed,
+        **extra,
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition geometry
+# ----------------------------------------------------------------------
+
+
+def test_build_partition_splits_longer_axis():
+    positions = [Point(float(i), 0.0) for i in range(8)]
+    partition = build_partition(positions, 2)
+    assert partition.axis == 0
+    assert partition.num_shards == 2
+    assert partition.cuts == (3.5,)
+    owners = [partition.shard_of(p) for p in positions]
+    assert owners == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+def test_build_partition_vertical_axis():
+    positions = [Point(0.0, float(i)) for i in range(6)]
+    partition = build_partition(positions, 3)
+    assert partition.axis == 1
+    assert [partition.shard_of(p) for p in positions] == [0, 0, 1, 1, 2, 2]
+
+
+def test_build_partition_validates_bounds():
+    positions = [Point(float(i), 0.0) for i in range(4)]
+    with pytest.raises(ConfigurationError):
+        build_partition(positions, 0)
+    with pytest.raises(ConfigurationError):
+        build_partition(positions, 5)
+    with pytest.raises(ConfigurationError):
+        build_partition([], 1)
+
+
+def test_conservative_lookahead_static():
+    bounds = TimeBounds(nu=1.0)
+    assert conservative_lookahead(bounds) == bounds.min_message_delay
+
+
+def test_conservative_lookahead_mobility_cap():
+    bounds = TimeBounds(nu=1.0)
+    # radio 1.1, speed 2.0: the mobility cap 1.1/(2*2.0) = 0.275 binds.
+    capped = conservative_lookahead(bounds, radio_range=1.1, max_speed=2.0)
+    assert capped == pytest.approx(0.275)
+    # Slow movers leave the message bound binding.
+    slow = conservative_lookahead(bounds, radio_range=1.1, max_speed=0.1)
+    assert slow == bounds.min_message_delay
+
+
+def test_halo_width_covers_worst_case_approach():
+    lookahead = 0.5
+    width = halo_width(1.1, 1.2, lookahead)
+    assert width == pytest.approx(1.1 + 2 * 1.2 * lookahead + HALO_EPSILON)
+
+
+# ----------------------------------------------------------------------
+# Engine satellites: wall-clock stats, ingest, safe horizon
+# ----------------------------------------------------------------------
+
+
+def test_simulator_stats_include_wall_rates():
+    sim = Simulator()
+    sim.schedule_at(1.0, lambda: None)
+    sim.run(until=2.0)
+    stats = sim.stats()
+    assert stats["executed_events"] == 1
+    assert stats["wall_time_s"] > 0.0
+    assert stats["events_per_sec"] > 0.0
+
+
+def test_simulator_ingest_respects_now_clamp():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(5.0, lambda: None)
+    sim.run(until=5.0)
+    # A barrier injection at/before now is clamped to now, not dropped.
+    count = sim.ingest([(3.0, seen.append, ("late",)), (7.0, seen.append, ("ok",))])
+    assert count == 2
+    sim.run(until=10.0)
+    assert seen == ["late", "ok"]
+
+
+def test_simulator_safe_horizon_caps_run():
+    sim = Simulator()
+    ran = []
+    sim.schedule_at(1.0, ran.append, 1)
+    sim.schedule_at(9.0, ran.append, 9)
+    sim.set_safe_horizon(5.0)
+    sim.run(until=20.0)
+    assert ran == [1]
+    assert sim.now == 5.0
+    sim.set_safe_horizon(None)
+    sim.run(until=20.0)
+    assert ran == [1, 9]
+
+
+def test_peak_rss_reported_on_linux():
+    rss = peak_rss_kb()
+    assert rss is None or rss > 0
+
+
+def test_resources_in_report_only_when_profiling():
+    plain = Simulation(_line_config()).run(until=20.0)
+    assert plain.resources["wall_time_s"] >= 0.0
+    assert plain.resources["events_per_sec"] >= 0.0
+    assert plain.report().resources is None
+
+    profiled = Simulation(
+        dataclasses.replace(_line_config(), profile=True)
+    ).run(until=20.0)
+    report = profiled.report()
+    assert report.resources is not None
+    assert set(report.resources) >= {
+        "wall_time_s", "events_per_sec", "peak_rss_kb",
+    }
+
+
+def test_wall_rates_do_not_leak_into_report_engine_block():
+    result = Simulation(_line_config()).run(until=20.0)
+    assert "wall_time_s" in result.engine
+    report = result.report()
+    assert "wall_time_s" not in report.engine
+    assert "events_per_sec" not in report.engine
+
+
+# ----------------------------------------------------------------------
+# Single-shard bit-identity across scenario families
+# ----------------------------------------------------------------------
+
+
+def _family_scenarios(algorithm, family, count):
+    pool = scenario_pool(algorithm, count=6 * count, seed=11)
+    picked = [s for s in pool if s["family"] == family]
+    assert picked, family
+    return picked[:count]
+
+
+@pytest.mark.parametrize(
+    "algorithm,family",
+    [
+        ("alg1-greedy", "fig6"),
+        ("alg2", "crash-line"),
+        ("alg2", "mobility-waypoint"),
+    ],
+)
+def test_single_shard_bit_identical_reports(algorithm, family):
+    for scenario in _family_scenarios(algorithm, family, 2):
+        until = scenario["until"]
+        plain = Simulation(config_from_dict(scenario["scenario"]))
+        expected = plain.run(until=until).report().to_json()
+        sharded = ShardedEngine(
+            config_from_dict(scenario["scenario"]), num_shards=1
+        )
+        actual = sharded.run(until=until).report().to_json()
+        assert actual == expected
+
+
+# ----------------------------------------------------------------------
+# Multi-shard behavior
+# ----------------------------------------------------------------------
+
+
+def test_multi_shard_run_reaches_cs_across_boundary():
+    engine = ShardedEngine(_line_config(), num_shards=2, workers=1)
+    result = engine.run(until=60.0)
+    assert result.cs_entries > 0
+    assert engine.windows > 0
+    assert result.engine["num_shards"] == 2
+    assert len(result.engine["per_shard"]) == 2
+    # The boundary pair (3, 4) straddles the cut; both sides must make
+    # progress, which only happens when cross-shard mail flows.
+    per_node = result.metrics.counters
+    assert per_node[3].cs_entries > 0
+    assert per_node[4].cs_entries > 0
+
+
+def test_multi_shard_results_independent_of_worker_count():
+    reports = []
+    for workers in (1, 2):
+        engine = ShardedEngine(_line_config(), num_shards=2, workers=workers)
+        reports.append(engine.run(until=60.0).report().to_json())
+    assert reports[0] == reports[1]
+
+
+def test_multi_shard_mobility_worker_independent():
+    from repro.mobility.waypoint import RandomWaypoint
+
+    def factory(node_id):
+        if node_id < 3:
+            return RandomWaypoint(
+                8.0, 2.0, speed_range=(0.4, 1.2), pause_range=(1.0, 4.0)
+            )
+        return None
+
+    def cfg():
+        return _line_config(
+            mobility_factory=factory, delta_override=7
+        )
+
+    reports = []
+    for workers in (1, 2):
+        engine = ShardedEngine(
+            cfg(), num_shards=2, workers=workers, max_speed=1.2
+        )
+        reports.append(engine.run(until=40.0).report().to_json())
+    assert reports[0] == reports[1]
+    data = json.loads(reports[0])
+    assert data["response"]["cs_entries"] > 0
+
+
+def test_multi_shard_resources_and_rates_populated():
+    result = run_sharded(_line_config(), until=30.0, num_shards=2, workers=1)
+    assert result.resources["wall_time_s"] > 0.0
+    assert result.resources["events_per_sec"] > 0.0
+    assert result.engine["events_per_sec"] > 0.0
+    rss = result.resources["peak_rss_kb"]
+    assert rss is None or rss > 0
+
+
+def test_multi_shard_crash_stays_local_to_owner():
+    config = _line_config(crashes=[(15.0, 3)])
+    result = run_sharded(config, until=60.0, num_shards=2, workers=1)
+    assert result.metrics.counters[3].cs_entries >= 0
+    assert 3 in result.metrics.crashed
+    # The survivor side keeps making progress past the crash.
+    assert result.cs_entries > 0
+
+
+# ----------------------------------------------------------------------
+# Monitor verdict preservation
+# ----------------------------------------------------------------------
+
+
+def test_clean_run_stays_clean_under_sharding():
+    engine = ShardedEngine(
+        _line_config(), num_shards=2, workers=1,
+        monitor_specs=SAFETY_SPECS,
+    )
+    result = engine.run(until=60.0)
+    assert engine.violations == []
+    assert result.cs_entries > 0
+
+
+def test_ablation_violation_preserved_under_sharding():
+    """alg2-nonotify's stale-priority bug is caught per-shard too.
+
+    The violating interaction (a permanently-thinking node holding a
+    stale priority over a hungry neighbor) occurs on pairs interior to
+    a shard, so the per-shard monitor must reach the same verdict the
+    global monitor does.
+    """
+    specs = SAFETY_SPECS + [
+        {"name": "stale-priority", "params": {"bound": 3.0}}
+    ]
+    hunger = {
+        node: [round(1.0 + node * 0.7 + k * 5.0, 3) for k in range(12)]
+        for node in (0, 2)
+    }
+
+    def cfg():
+        return ScenarioConfig(
+            positions=line_positions(4, spacing=1.0),
+            radio_range=1.1,
+            algorithm="alg2-nonotify",
+            seed=1,
+            scripted_hunger=hunger,
+        )
+
+    unsharded = ShardedEngine(cfg(), num_shards=1, monitor_specs=specs)
+    unsharded.run(until=60.0)
+    sharded = ShardedEngine(
+        cfg(), num_shards=2, workers=1, monitor_specs=specs
+    )
+    sharded.run(until=60.0)
+    assert [v["monitor"] for v in unsharded.violations] == ["stale-priority"]
+    assert [v["monitor"] for v in sharded.violations] == ["stale-priority"]
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["oracle", "global-oracle", "token-mutex", "alg1-random"]
+)
+def test_global_state_algorithms_rejected(algorithm):
+    with pytest.raises(ConfigurationError):
+        ShardedEngine(_line_config(algorithm=algorithm), num_shards=2)
+
+
+def test_callable_algorithm_rejected():
+    def factory(ctx):  # pragma: no cover - never invoked
+        raise AssertionError
+
+    with pytest.raises(ConfigurationError):
+        ShardedEngine(_line_config(algorithm=factory), num_shards=2)
+
+
+def test_mobility_requires_max_speed():
+    from repro.mobility.waypoint import RandomWaypoint
+
+    config = _line_config(
+        mobility_factory=lambda nid: RandomWaypoint(8.0, 2.0) if nid == 0 else None,
+        delta_override=7,
+    )
+    with pytest.raises(ConfigurationError):
+        ShardedEngine(config, num_shards=2)
+
+
+def test_bad_shard_count_rejected():
+    with pytest.raises(ConfigurationError):
+        ShardedEngine(_line_config(), num_shards=0)
+    with pytest.raises(ConfigurationError):
+        ShardedEngine(_line_config(n=4), num_shards=5)
+
+
+def test_coloring_algorithms_get_global_coloring():
+    engine = ShardedEngine(
+        _line_config(algorithm="choy-singh"), num_shards=2, workers=1
+    )
+    assert engine._config.initial_colors is not None
+    result = engine.run(until=60.0)
+    assert result.cs_entries > 0
+
+
+# ----------------------------------------------------------------------
+# Harness integration
+# ----------------------------------------------------------------------
+
+
+def test_replicate_with_shards_matches_inline_runs():
+    config = _line_config()
+    estimates = replicate(
+        config, until=30.0, seeds=[1, 2], metrics=DEFAULT_METRICS, shards=2
+    )
+    inline = [
+        run_sharded(
+            dataclasses.replace(config, seed=seed),
+            until=30.0, num_shards=2, workers=1,
+        )
+        for seed in (1, 2)
+    ]
+    expected = sum(r.cs_entries / r.duration for r in inline) / 2
+    assert estimates["throughput"].mean == pytest.approx(expected)
+
+
+def test_cli_run_accepts_shards(capsys):
+    from repro.cli import main
+
+    assert main([
+        "run", "--topology", "line:8", "--algorithm", "alg2",
+        "--until", "30", "--shards", "2", "--shard-workers", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cs entries" in out.lower() or "alg2" in out
