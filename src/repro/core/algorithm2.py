@@ -39,6 +39,8 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
 
     name = "alg2"
 
+    __slots__ = ("higher", "forks", "fork_proto", "switches_sent", "_probes")
+
     def __init__(self, node: NodeServices) -> None:
         super().__init__(node)
         #: higher[j] — neighbor j has priority over us.  Exactly one of
@@ -59,6 +61,19 @@ class Algorithm2(MessageDispatchMixin, LocalMutexAlgorithm):
         """Initial state: smaller ID holds the fork and yields priority."""
         self.forks.set_holds(peer, self.node_id < peer)
         self.higher[peer] = self.node_id < peer
+
+    def bootstrap_peers(self, peers) -> None:
+        """Fused :meth:`bootstrap_peer` loop (city-scale construction).
+
+        Same per-peer state in the same (ascending) insertion order,
+        writing the two per-peer dicts directly instead of paying two
+        method calls and a property read per link endpoint.
+        """
+        me = self.node.node_id
+        at = self.forks._at
+        higher = self.higher
+        for peer in peers:
+            at[peer] = higher[peer] = me < peer
 
     # ------------------------------------------------------------------
     # ForkHost interface

@@ -13,7 +13,7 @@ with lightweight fakes and lets baselines share the same plumbing.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, FrozenSet, Protocol, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Protocol, Tuple
 
 from repro.core.states import NodeState
 from repro.net.messages import Message
@@ -81,6 +81,12 @@ class LocalMutexAlgorithm(abc.ABC):
     #: Human-readable protocol name (overridden by subclasses).
     name = "abstract"
 
+    # One instance per node: slotted so city-scale runs don't carry a
+    # per-algorithm ``__dict__``.  Subclasses that declare their own
+    # ``__slots__`` stay dict-free; ones that don't (ablations, test
+    # fakes) just regain a dict, with no behavior change.
+    __slots__ = ("node",)
+
     def __init__(self, node: NodeServices) -> None:
         self.node = node
 
@@ -111,6 +117,18 @@ class LocalMutexAlgorithm(abc.ABC):
         Called once per initial link before the simulation starts; the
         default is a no-op for protocols without per-link state.
         """
+
+    def bootstrap_peers(self, peers: Iterable[int]) -> None:
+        """Install initial state for every time-zero neighbor at once.
+
+        ``peers`` arrives in ascending order (the harness passes the
+        sorted neighbor list), so per-peer dict state lands in the same
+        insertion order as interleaved per-link bootstrapping.  The
+        default just loops :meth:`bootstrap_peer`; hot protocols may
+        override with a fused loop.
+        """
+        for peer in peers:
+            self.bootstrap_peer(peer)
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -62,6 +62,10 @@ def handles(*message_types: type):
 class MessageDispatchMixin:
     """Gives a class a message dispatch table built from @handles marks."""
 
+    # Stateless mixin (the table is a class attribute): empty slots keep
+    # slotted users dict-free.
+    __slots__ = ()
+
     _dispatch_table: ClassVar[Dict[type, Handler]]
 
     def __init_subclass__(cls, **kwargs) -> None:

@@ -62,6 +62,8 @@ class ForkHost(Protocol):
 class ForkProtocol:
     """Priority-based fork collection for one node."""
 
+    __slots__ = ("_host", "_requested", "_probes", "_requested_at")
+
     def __init__(self, host: ForkHost) -> None:
         self._host = host
         # Dedup of outstanding requests; purely an optimization (the

@@ -15,6 +15,8 @@ from typing import Callable, Dict, FrozenSet, Iterable, Set
 class ForkTable:
     """The ``at[]`` array and suspended-request set ``S`` of one node."""
 
+    __slots__ = ("_at", "suspended")
+
     def __init__(self) -> None:
         self._at: Dict[int, bool] = {}
         self.suspended: Set[int] = set()

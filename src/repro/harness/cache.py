@@ -55,13 +55,22 @@ def default_cache_dir() -> Path:
 
 
 def scenario_key(
-    config: ScenarioConfig, until: float, seed: int
+    config: ScenarioConfig,
+    until: float,
+    seed: int,
+    shards: int = 1,
+    max_speed: Optional[float] = None,
 ) -> Optional[str]:
     """Stable cache key for one seeded run, or None if uncacheable.
 
     Uncacheable means the scenario carries behavior that does not
     serialize declaratively (a callable algorithm entry or a mobility
     factory), so no textual key can prove two runs equivalent.
+
+    ``shards``/``max_speed`` name the execution engine: a multi-shard
+    run is deterministic per (scenario, shard count, speed bound) but
+    not event-order identical to the unsharded run, so the engine shape
+    is part of the key and sharded results never alias classic ones.
     """
     if config.mobility_factory is not None:
         return None
@@ -70,7 +79,13 @@ def scenario_key(
     except ConfigurationError:
         return None
     blob = json.dumps(
-        {"config": payload, "until": until, "version": __version__},
+        {
+            "config": payload,
+            "until": until,
+            "version": __version__,
+            "shards": shards,
+            "max_speed": max_speed,
+        },
         sort_keys=True,
         separators=(",", ":"),
     )

@@ -109,11 +109,17 @@ MetricFn = Callable[[SimulationResult], float]
 CacheArg = Union[bool, str, Path, ResultCache, None]
 
 
-def _report_name(config: ScenarioConfig, until: float, seed: int) -> str:
+def _report_name(
+    config: ScenarioConfig,
+    until: float,
+    seed: int,
+    shards: int = 1,
+    max_speed: Optional[float] = None,
+) -> str:
     """Filename stem for one per-seed report: the scenario key when the
     config serializes, else just the seed (collision-free within one
     replicate call, which runs a single scenario)."""
-    key = scenario_key(config, until, seed)
+    key = scenario_key(config, until, seed, shards, max_speed)
     return key if key is not None else f"seed{seed}"
 
 
@@ -148,7 +154,8 @@ def _run_seed(
         directory = Path(report_dir)
         directory.mkdir(parents=True, exist_ok=True)
         result.report().save(
-            directory / f"{_report_name(config, until, seed)}.json"
+            directory
+            / f"{_report_name(config, until, seed, shards, max_speed)}.json"
         )
     return {name: fn(result) for name, fn in metrics.items()}
 
@@ -169,13 +176,19 @@ def _collect_samples(
     ``jobs``, so callers see identical numbers regardless of ``workers``.
     Per-seed reports (``report_dir``) are written only by runs that
     actually execute — a cache hit skips the run *and* the report.
+    Keys encode ``shards``/``max_speed``, so sharded and classic runs of
+    the same scenario occupy distinct cache entries.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     results: Dict[int, Dict[str, float]] = {}
     pending: List[Tuple[int, Optional[str], Optional[Dict[str, float]]]] = []
     for idx, (config, until, seed) in enumerate(jobs):
-        key = scenario_key(config, until, seed) if cache is not None else None
+        key = (
+            scenario_key(config, until, seed, shards, max_speed)
+            if cache is not None
+            else None
+        )
         cached = cache.get(key) if cache is not None else None
         if cached is not None and all(name in cached for name in metrics):
             results[idx] = {name: cached[name] for name in metrics}
@@ -237,9 +250,9 @@ def replicate(
             The estimates are identical either way.
         cache: ``True`` for the default on-disk cache, a directory path,
             a :class:`~repro.harness.cache.ResultCache`, or ``None``
-            (default) for no caching.  Ignored when ``shards > 1``:
-            cache keys do not encode the shard count, and multi-shard
-            runs are not event-order identical to unsharded ones.
+            (default) for no caching.  Cache keys encode the engine
+            shape (``shards``/``max_speed``), so sharded replications
+            cache independently of classic ones.
         report_dir: directory receiving one ``RunReport`` JSON per
             *executed* seed, named by scenario key.  Cached seeds do not
             re-run and therefore write no report; clear or bypass the
@@ -250,7 +263,7 @@ def replicate(
         max_speed: speed bound for sharded runs with mobility.
     """
     seed_list = list(seeds)
-    store = resolve_cache(cache) if shards == 1 else None
+    store = resolve_cache(cache)
     samples = _collect_samples(
         [(config, until, seed) for seed in seed_list], metrics, workers,
         store, str(report_dir) if report_dir is not None else None,
@@ -299,8 +312,9 @@ def sweep(
     ``report_dir`` behaves as in :func:`replicate`: one ``RunReport``
     JSON per executed (point, seed) run, named by scenario key so
     different grid points never collide; cache hits write nothing.
-    ``shards``/``max_speed`` behave as in :func:`replicate` (the cache
-    is likewise bypassed for sharded sweeps).
+    ``shards``/``max_speed`` behave as in :func:`replicate` and are
+    part of every cache key, so sharded sweeps cache independently of
+    classic ones.
     """
     names = list(grid)
     combos = list(itertools.product(*(grid[name] for name in names)))
@@ -314,7 +328,7 @@ def sweep(
         for point_config in configs
         for seed in seed_list
     ]
-    store = resolve_cache(cache) if shards == 1 else None
+    store = resolve_cache(cache)
     samples = _collect_samples(
         jobs, metrics, workers, store,
         str(report_dir) if report_dir is not None else None,

@@ -7,9 +7,10 @@ from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Point:
-    """An immutable 2D position."""
+    """An immutable 2D position (slotted: city-scale scenarios hold one
+    per node, so the per-instance ``__dict__`` is worth dropping)."""
 
     x: float
     y: float

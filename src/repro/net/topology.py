@@ -12,6 +12,16 @@ failure locality) and degree statistics (used to report ``delta``).
 Scaling notes
 -------------
 
+Positions are stored in two flat ``array('d')`` columns indexed by node
+id (plus the insertion-ordered ``_rank`` dict for membership), not in a
+per-node dict of :class:`Point` objects: the distance tests on the hot
+update paths read unboxed doubles straight out of the arrays, and a
+city-scale topology carries ~16 bytes per node of position state
+instead of a dict entry plus a boxed point.  :meth:`position`
+materializes a ``Point`` on demand for callers that want one.  The
+degree histogram backing ``max_degree`` is likewise a contiguous list
+indexed by degree.
+
 Membership and movement are served by a **spatial-hash grid** whose
 cell size equals the radio range: a node within range of position
 ``p`` must sit in one of the 9 cells surrounding ``p``'s cell, so
@@ -43,6 +53,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from array import array
 from collections import deque
 from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field
@@ -94,7 +105,11 @@ class DynamicTopology:
             raise TopologyError(f"radio range must be positive, got {radio_range}")
         self.radio_range = radio_range
         self.brute_force = brute_force
-        self._positions: Dict[int, Point] = {}
+        # Position columns, indexed by node id; slots of removed nodes
+        # go stale and membership lives in ``_rank`` (insertion-ordered,
+        # maintained in lockstep with the old position dict's order).
+        self._xs: array = array("d")
+        self._ys: array = array("d")
         self._adjacency: Dict[int, Set[int]] = {}
         # Spatial-hash grid (maintained even in brute-force mode so the
         # flag stays flippable and maintenance stays O(1) per update).
@@ -103,10 +118,13 @@ class DynamicTopology:
         self._node_cell: Dict[int, Cell] = {}
         # Insertion ranks reproduce the brute-force scan's dict
         # iteration order, keeping LinkDiff ordering bit-identical.
+        # Doubles as the membership map.
         self._rank: Dict[int, int] = {}
         self._rank_counter = itertools.count()
-        # Degree histogram: degree -> number of nodes at that degree.
-        self._degree_counts: Dict[int, int] = {}
+        # Degree histogram, indexed by degree (contiguous — degrees are
+        # small and dense, so a list beats a dict on the 4-updates-per-
+        # link hot path).
+        self._degree_counts: List[int] = []
         self._max_degree = 0
         # Lazily built ascending neighbor tuples, invalidated per node
         # on link/unlink; serves broadcast fan-out without re-sorting.
@@ -125,23 +143,118 @@ class DynamicTopology:
     # ------------------------------------------------------------------
     # Node management
     # ------------------------------------------------------------------
+    def _store_position(self, node_id: int, position: Point) -> None:
+        """Write a node's coordinates into the position columns."""
+        xs = self._xs
+        if node_id >= len(xs):
+            grow = node_id + 1 - len(xs)
+            xs.extend([0.0] * grow)
+            self._ys.extend([0.0] * grow)
+        xs[node_id] = position.x
+        self._ys[node_id] = position.y
+
     def add_node(self, node_id: int, position: Point) -> LinkDiff:
         """Add a node; returns the links its arrival created."""
-        if node_id in self._positions:
+        if node_id in self._rank:
             raise TopologyError(f"node {node_id} already exists")
         self.version += 1
-        self._positions[node_id] = position
+        self._store_position(node_id, position)
         self._adjacency[node_id] = set()
         self._rank[node_id] = next(self._rank_counter)
         self._grid_insert(node_id, position)
         self._count_degree(0, +1)
         diff = LinkDiff()
         radio = self.radio_range
+        xs, ys = self._xs, self._ys
+        px, py = position.x, position.y
+        hypot = math.hypot
         for other in self._scan_candidates(node_id, position):
-            if position.distance_to(self._positions[other]) <= radio:
+            if hypot(px - xs[other], py - ys[other]) <= radio:
                 self._link(node_id, other)
                 diff.added.append(link_key(node_id, other))
         return diff
+
+    def add_nodes(self, nodes: Iterable[Tuple[int, Point]]) -> None:
+        """Bulk node insertion: the O(n + links) bootstrap path.
+
+        Final state — positions, ranks, grid, adjacency, degree
+        histogram, ``version`` — is exactly what the same sequence of
+        :meth:`add_node` calls produces; only the per-arrival
+        :class:`LinkDiff` is skipped, which is why this is reserved for
+        construction time (nobody consumes arrival diffs there).  Every
+        candidate pair is examined once (each node links against the
+        lower-insertion-rank part of its grid window) and the degree
+        histogram is rebuilt in one pass at the end instead of being
+        nudged four times per link.
+        """
+        items = list(nodes)
+        if not items:
+            return
+        rank = self._rank
+        adjacency = self._adjacency
+        rank_counter = self._rank_counter
+        xs, ys = self._xs, self._ys
+        # One bulk growth of the position columns: add_node grows them
+        # per arrival, but here the final extent is known up front.
+        top = max(node_id for node_id, _ in items)
+        if top >= len(xs):
+            grow = top + 1 - len(xs)
+            xs.extend([0.0] * grow)
+            ys.extend([0.0] * grow)
+        grid = self._grid
+        node_cell = self._node_cell
+        size = self._cell_size
+        floor = math.floor
+        for node_id, position in items:
+            if node_id in rank:
+                raise TopologyError(f"node {node_id} already exists")
+            px = xs[node_id] = position.x
+            py = ys[node_id] = position.y
+            adjacency[node_id] = set()
+            rank[node_id] = next(rank_counter)
+            cell = (floor(px / size), floor(py / size))
+            bucket = grid.get(cell)
+            if bucket is None:
+                bucket = grid[cell] = set()
+            bucket.add(node_id)
+            node_cell[node_id] = cell
+        radio = self.radio_range
+        hypot = math.hypot
+        links = 0
+        for node_id, position in items:
+            px, py = position.x, position.y
+            my_rank = rank[node_id]
+            nbrs = adjacency[node_id]
+            cx, cy = floor(px / size), floor(py / size)
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    bucket = grid.get((cx + dx, cy + dy))
+                    if not bucket:
+                        continue
+                    for other in bucket:
+                        if (
+                            rank[other] < my_rank
+                            and hypot(px - xs[other], py - ys[other]) <= radio
+                        ):
+                            nbrs.add(other)
+                            adjacency[other].add(node_id)
+                            links += 1
+        # add_node bumps version once per arrival and once per link.
+        self.version += len(items) + links
+        if links:
+            self._sorted_neighbors.clear()
+            self._frozen_neighbors.clear()
+        self._rebuild_degree_histogram()
+
+    def _rebuild_degree_histogram(self) -> None:
+        counts: List[int] = []
+        for nbrs in self._adjacency.values():
+            degree = len(nbrs)
+            if degree >= len(counts):
+                counts.extend([0] * (degree + 1 - len(counts)))
+            counts[degree] += 1
+        self._degree_counts = counts
+        self._max_degree = len(counts) - 1 if counts else 0
 
     def upsert_node(self, node_id: int, position: Point) -> LinkDiff:
         """Add the node if absent, else move it to ``position``.
@@ -150,7 +263,7 @@ class DynamicTopology:
         update stream carries both first appearances and refreshes of
         boundary-adjacent remote nodes.
         """
-        if node_id in self._positions:
+        if node_id in self._rank:
             return self.set_position(node_id, position)
         return self.add_node(node_id, position)
 
@@ -167,39 +280,41 @@ class DynamicTopology:
         self._sorted_neighbors.pop(node_id, None)
         self._frozen_neighbors.pop(node_id, None)
         del self._adjacency[node_id]
-        del self._positions[node_id]
         del self._rank[node_id]
+        # The position-array slot goes stale; membership is _rank.
         return diff
 
     def nodes(self) -> List[int]:
         """All node ids, sorted (stable iteration order for determinism)."""
-        return sorted(self._positions)
+        return sorted(self._rank)
 
     def __contains__(self, node_id: int) -> bool:
-        return node_id in self._positions
+        return node_id in self._rank
 
     def __len__(self) -> int:
-        return len(self._positions)
+        return len(self._rank)
 
     # ------------------------------------------------------------------
     # Positions and movement
     # ------------------------------------------------------------------
     def position(self, node_id: int) -> Point:
-        """Current position of a node."""
+        """Current position of a node (materialized from the columns)."""
         self._require(node_id)
-        return self._positions[node_id]
+        return Point(self._xs[node_id], self._ys[node_id])
 
     def set_position(self, node_id: int, position: Point) -> LinkDiff:
         """Move a node and return the induced link changes."""
         self._require(node_id)
-        self._positions[node_id] = position
+        self._store_position(node_id, position)
         self._grid_move(node_id, position)
         diff = LinkDiff()
         current = self._adjacency[node_id]
         radio = self.radio_range
-        positions = self._positions
+        xs, ys = self._xs, self._ys
+        px, py = position.x, position.y
+        hypot = math.hypot
         for other in self._scan_candidates(node_id, position, extra=current):
-            in_range = position.distance_to(positions[other]) <= radio
+            in_range = hypot(px - xs[other], py - ys[other]) <= radio
             if in_range and other not in current:
                 self._link(node_id, other)
                 diff.added.append(link_key(node_id, other))
@@ -223,7 +338,7 @@ class DynamicTopology:
         the kinetic engine keys its discovery re-scan on.
         """
         self._require(node_id)
-        self._positions[node_id] = position
+        self._store_position(node_id, position)
         return self._grid_move(node_id, position)
 
     def set_positions(
@@ -260,15 +375,17 @@ class DynamicTopology:
                 )
             moved.add(node_id)
         for node_id, position in moves:
-            self._positions[node_id] = position
+            self._store_position(node_id, position)
             self._grid_move(node_id, position)
         if not isinstance(deferred, AbstractSet):
             deferred = set(deferred)
         seen_pairs: Set[Link] = set()
         radio = self.radio_range
-        positions = self._positions
+        xs, ys = self._xs, self._ys
+        hypot = math.hypot
         for node_id, position in moves:
             current = self._adjacency[node_id]
+            px, py = position.x, position.y
             for other in self._scan_candidates(node_id, position, extra=current):
                 if other in deferred and other not in moved:
                     continue
@@ -277,7 +394,7 @@ class DynamicTopology:
                     if pair in seen_pairs:
                         continue
                     seen_pairs.add(pair)
-                in_range = position.distance_to(positions[other]) <= radio
+                in_range = hypot(px - xs[other], py - ys[other]) <= radio
                 if in_range and other not in current:
                     self._link(node_id, other)
                     diff.added.append(link_key(node_id, other))
@@ -394,7 +511,7 @@ class DynamicTopology:
 
     def components(self) -> List[Set[int]]:
         """Connected components of the communication graph."""
-        remaining = set(self._positions)
+        remaining = set(self._rank)
         result: List[Set[int]] = []
         while remaining:
             root = min(remaining)
@@ -417,11 +534,11 @@ class DynamicTopology:
         Brute-force mode returns every other node; grid mode returns the
         9 cells around ``position`` plus ``extra`` (current neighbors,
         which may have fallen outside that window).  Either way the
-        result follows ``_positions`` insertion order, so both paths
-        emit LinkDiff entries in the same order.
+        result follows ``_rank`` insertion order, so both paths emit
+        LinkDiff entries in the same order.
         """
         if self.brute_force:
-            return [other for other in self._positions if other != node_id]
+            return [other for other in self._rank if other != node_id]
         candidates: Set[int] = set(extra)
         grid = self._grid
         cx, cy = self._cell_of(position)
@@ -519,19 +636,17 @@ class DynamicTopology:
 
     def _count_degree(self, degree: int, delta: int) -> None:
         counts = self._degree_counts
-        updated = counts.get(degree, 0) + delta
-        if updated:
-            counts[degree] = updated
-        else:
-            counts.pop(degree, None)
+        if degree >= len(counts):
+            counts.extend([0] * (degree + 1 - len(counts)))
+        counts[degree] += delta
         if delta > 0:
             if degree > self._max_degree:
                 self._max_degree = degree
         else:
-            while self._max_degree and self._max_degree not in counts:
+            while self._max_degree and not counts[self._max_degree]:
                 self._max_degree -= 1
 
     # ------------------------------------------------------------------
     def _require(self, node_id: int) -> None:
-        if node_id not in self._positions:
+        if node_id not in self._rank:
             raise TopologyError(f"unknown node {node_id}")

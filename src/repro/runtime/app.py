@@ -12,6 +12,7 @@ harness provides two:
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -20,7 +21,19 @@ from repro.sim.engine import Simulator
 
 
 class HungerWorkload:
-    """Poisson-ish think/eat cycling for every attached node."""
+    """Poisson-ish think/eat cycling for every attached node.
+
+    Per-node ("workload", node_id) substreams are *not* materialized at
+    attach time: a memoized ``random.Random`` costs ~2.5 KB, and a
+    city-scale run attaches hundreds of thousands of nodes of which
+    many never finish a single critical section.  The attach-time
+    initial-delay draw instead comes from one reusable scratch RNG
+    seeded with the substream's seed (``uniform`` consumes exactly one
+    underlying ``random()`` call), and the memoized stream is created
+    lazily at a node's first ``_on_done_eating`` — fast-forwarded past
+    that one attach draw — so every value drawn is bit-identical to
+    the eager scheme.
+    """
 
     def __init__(
         self,
@@ -44,13 +57,47 @@ class HungerWorkload:
         self.initial_delay_range = (ilo, ihi)
         self.max_entries = max_entries
         self._entries: Dict[int, int] = {}
+        # Reusable scratch RNG for attach-time draws (re-seeded per
+        # node); the memoized per-node substream appears lazily in
+        # _on_done_eating.
+        self._scratch = random.Random()
 
     def attach(self, harness: NodeHarness) -> None:
         """Start driving a node (schedules its first hunger)."""
         harness.on_done_eating = self._on_done_eating
-        rng = self._rng_source.stream("workload", harness.node_id)
+        rng = self._scratch
+        rng.seed(self._rng_source.stream_seed("workload", harness.node_id))
         delay = rng.uniform(*self.initial_delay_range)
         self._sim.schedule(delay, harness.become_hungry)
+
+    def attach_all(self, harnesses: Iterable[NodeHarness]) -> None:
+        """Attach every node at once, deferring the draws to run start.
+
+        Per-node attach work is pure RNG arithmetic — derive the
+        substream seed, seed the scratch RNG, draw the initial delay —
+        plus one schedule call, and at city scale it dominates
+        ``Simulation`` construction.  Since it only *schedules* events,
+        the whole loop rides the engine's startup hook: it runs right
+        before the first event pops, drawing the exact values
+        per-node :meth:`attach` would, with the heap holding the same
+        event set when execution starts (see
+        :meth:`repro.sim.engine.Simulator.defer_startup`).
+        """
+        nodes = list(harnesses)
+        self._sim.defer_startup(lambda: self._attach_now(nodes))
+
+    def _attach_now(self, nodes: List[NodeHarness]) -> None:
+        on_done = self._on_done_eating
+        scratch = self._scratch
+        seed = scratch.seed
+        uniform = scratch.uniform
+        ilo, ihi = self.initial_delay_range
+        stream_seed = self._rng_source.stream_seed
+        schedule = self._sim.schedule
+        for harness in nodes:
+            harness.on_done_eating = on_done
+            seed(stream_seed("workload", harness.node_id))
+            schedule(uniform(ilo, ihi), harness.become_hungry)
 
     def entries(self, node_id: int) -> int:
         """Completed critical sections for one node."""
@@ -61,7 +108,15 @@ class HungerWorkload:
         self._entries[harness.node_id] = count
         if self.max_entries is not None and count >= self.max_entries:
             return
-        rng = self._rng_source.stream("workload", harness.node_id)
+        source = self._rng_source
+        fresh = not source.has_stream("workload", harness.node_id)
+        rng = source.stream("workload", harness.node_id)
+        if fresh:
+            # First materialization: skip the single random() call the
+            # attach-time initial-delay draw consumed via the scratch
+            # RNG, so the sequence continues exactly where the eager
+            # per-node stream would be.
+            rng.random()
         think = rng.uniform(*self.think_range)
         self._sim.schedule(think, harness.become_hungry)
 

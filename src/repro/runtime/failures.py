@@ -43,13 +43,18 @@ class CrashInjector:
         self._mobility = mobility
         self.crashes: List[CrashEvent] = []
         #: Engine handles, aligned with :attr:`crashes` (retimeable).
-        self._events: List[ScheduledEvent] = []
+        #: Stored as ``(event, generation)`` tokens: a pooling engine
+        #: recycles fired shells, so a bare handle held across events
+        #: can come back to life as someone else's event — the captured
+        #: generation stamp detects that (see repro.sim.events).
+        self._events: List[Tuple[ScheduledEvent, int]] = []
 
     def schedule(self, time: float, node_id: int) -> None:
         """Crash ``node_id`` at the given virtual time."""
         event = CrashEvent(time, node_id)
         self.crashes.append(event)
-        self._events.append(self._sim.schedule_at(time, self._crash, node_id))
+        handle = self._sim.schedule_at(time, self._crash, node_id)
+        self._events.append((handle, handle.generation))
 
     def schedule_all(self, plan: List[Tuple[float, int]]) -> None:
         """Schedule a whole crash plan of (time, node_id) pairs."""
@@ -69,8 +74,11 @@ class CrashInjector:
         into the past.
         """
         now = self._sim.now
-        for index, handle in enumerate(self._events):
-            if not handle.pending:
+        for index, (handle, generation) in enumerate(self._events):
+            # A generation mismatch means the shell was recycled by the
+            # event pool after our crash fired — same outcome as a dead
+            # handle: nothing left to retime.
+            if handle.generation != generation or not handle.pending:
                 continue
             planned = self.crashes[index]
             retimed = max(now, float(
@@ -80,9 +88,10 @@ class CrashInjector:
                 continue
             handle.cancel()
             self.crashes[index] = CrashEvent(retimed, planned.node_id)
-            self._events[index] = self._sim.schedule_at(
+            fresh = self._sim.schedule_at(
                 retimed, self._crash, planned.node_id
             )
+            self._events[index] = (fresh, fresh.generation)
 
     def crashed_nodes(self) -> List[int]:
         """Node ids crashed so far (in crash order)."""

@@ -22,7 +22,35 @@ from repro.sim.trace import NULL_TRACE, TraceLog, live_trace
 
 
 class NodeHarness:
-    """Host for one node's algorithm instance."""
+    """Host for one node's algorithm instance.
+
+    Slotted, and lazy about its two per-node conveniences (the eating
+    timer and the eating RNG substream): a city-scale run constructs
+    hundreds of thousands of harnesses at bootstrap, most of which
+    reach ``start_eating`` much later or never — deferring the
+    ``Timer`` and the ~2.5 KB ``random.Random`` to first use keeps
+    construction O(cheap) per node without changing any draw sequence
+    (substream seeds derive from the stream name alone).
+    """
+
+    __slots__ = (
+        "node_id",
+        "_sim",
+        "_linklayer",
+        "_bounds",
+        "_trace",
+        "_trace_log",
+        "_eat_rng",
+        "_rng_source",
+        "_metrics",
+        "_safety",
+        "probes",
+        "_state",
+        "_eat_timer",
+        "crashed",
+        "algorithm",
+        "on_done_eating",
+    )
 
     def __init__(
         self,
@@ -35,6 +63,7 @@ class NodeHarness:
         metrics=None,
         safety=None,
         probes=None,
+        rng_source=None,
     ) -> None:
         self.node_id = node_id
         self._sim = sim
@@ -46,7 +75,11 @@ class NodeHarness:
         # reachable through the ``trace`` property for algorithm code.
         self._trace = live_trace(trace)
         self._trace_log = trace if trace is not None else NULL_TRACE
+        # Either a ready-made eating RNG, or (with ``eat_rng=None`` and
+        # a ``rng_source``) the source to pull the memoized
+        # ("eating", node_id) substream from on first use.
         self._eat_rng = eat_rng
+        self._rng_source = rng_source
         self._metrics = metrics
         self._safety = safety
         #: Shared telemetry probes, or None when the run is
@@ -55,7 +88,7 @@ class NodeHarness:
         #: fakes without the attribute still work.
         self.probes = probes
         self._state = NodeState.THINKING
-        self._eat_timer = Timer(sim, self._finish_eating)
+        self._eat_timer: Optional[Timer] = None
         self.crashed = False
         self.algorithm: Optional[LocalMutexAlgorithm] = None
         #: Workload hook: called when the node finishes eating.
@@ -106,7 +139,15 @@ class NodeHarness:
             self._metrics.note_eat_start(self.node_id, self._sim.now)
         if self._safety is not None:
             self._safety.note_eating_start(self.node_id, self._sim.now)
-        self._eat_timer.start(self._bounds.draw_eating_time(self._eat_rng))
+        timer = self._eat_timer
+        if timer is None:
+            timer = self._eat_timer = Timer(self._sim, self._finish_eating)
+        rng = self._eat_rng
+        if rng is None:
+            rng = self._eat_rng = self._rng_source.stream(
+                "eating", self.node_id
+            )
+        timer.start(self._bounds.draw_eating_time(rng))
 
     def demote_to_hungry(self) -> None:
         """Mobility preemption: eating -> hungry (Algorithm 3 Line 50)."""
@@ -177,7 +218,8 @@ class NodeHarness:
     def crash(self) -> None:
         """Silently stop: no further timers, messages or transitions."""
         self.crashed = True
-        self._eat_timer.cancel()
+        if self._eat_timer is not None:
+            self._eat_timer.cancel()
         if self._trace is not None:
             self._trace.record(self._sim.now, "node.crashed", self.node_id)
 

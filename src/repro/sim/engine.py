@@ -66,12 +66,31 @@ from repro.sim.events import EventPriority, ScheduledEvent
 #: Never bother compacting heaps smaller than this.
 _COMPACT_MIN = 64
 
+#: Free-list cap: shells beyond this are dropped to the garbage
+#: collector instead of retained.  Large enough to absorb the release
+#: burst of a compaction or a cancellation-heavy phase, small enough
+#: that the pool itself can never dominate memory (~8 MB worst case).
+_POOL_MAX = 65536
+
 
 class Simulator:
-    """A deterministic discrete-event scheduler."""
+    """A deterministic discrete-event scheduler.
 
-    def __init__(self) -> None:
+    Args:
+        pooling: recycle :class:`ScheduledEvent` shells through a free
+            list (acquire on schedule, release when an event has fired
+            or its cancelled shell leaves the heap).  Event execution
+            order, timestamps and every counter are identical either
+            way — the flag exists for equivalence testing and for
+            callers that keep event handles beyond their lifetime (see
+            the handle contract in :mod:`repro.sim.events`).
+    """
+
+    def __init__(self, pooling: bool = True) -> None:
         self._now: float = 0.0
+        # Event free list (None when pooling is off — the established
+        # None-when-off idiom, so the hot paths test one pointer).
+        self._free: Optional[List[ScheduledEvent]] = [] if pooling else None
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
         self._running = False
@@ -96,6 +115,9 @@ class Simulator:
         # hoisted the same way, so uncontrolled runs pay one ``is None``
         # test per event.
         self._choice_controller = None
+        # One-shot hooks fired at the top of the next run() call (see
+        # defer_startup).
+        self._startup_hooks: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -200,9 +222,14 @@ class Simulator:
             )
         if seq is None:
             seq = next(self._seq)
-        event = ScheduledEvent(
-            time, priority, seq, callback, tuple(args), engine=self
-        )
+        free = self._free
+        if free:
+            event = free.pop()
+            event._reinit(time, priority, seq, callback, tuple(args), self)
+        else:
+            event = ScheduledEvent(
+                time, priority, seq, callback, tuple(args), engine=self
+            )
         heap = self._heap
         heapq.heappush(heap, event)
         if len(heap) > self._heap_high_water:
@@ -232,6 +259,7 @@ class Simulator:
                 return event.sort_key()
             heapq.heappop(heap)
             self._cancelled_in_heap -= 1
+            self._recycle(event)
         return None
 
     def advance_clock(self, time: float) -> None:
@@ -334,6 +362,21 @@ class Simulator:
             schedule_at(time if time > now else now, callback, *args)
         return len(batch)
 
+    def defer_startup(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` once, immediately before the next :meth:`run`.
+
+        Construction-time work that only *schedules* events (the
+        workload's per-node RNG seeding, for example) can be deferred
+        here: the hook fires before the first event pops, so the heap
+        holds exactly the same event set when execution starts and
+        every engine counter — executed events, high water,
+        compactions — matches eager scheduling.  Only the insertion
+        tickets of construction-time events shift, which is observable
+        solely for events sharing an exact ``(time, priority)`` pair.
+        Hooks run in registration order and are dropped after firing.
+        """
+        self._startup_hooks.append(hook)
+
     def add_listener(self, listener: Callable[["Simulator"], None]) -> None:
         """Register a post-event observer (runs after every executed event)."""
         self._listeners.append(listener)
@@ -345,6 +388,13 @@ class Simulator:
     # ------------------------------------------------------------------
     # Cancellation bookkeeping (called by ScheduledEvent.cancel)
     # ------------------------------------------------------------------
+    def _recycle(self, event: ScheduledEvent) -> None:
+        """Return a dead shell to the free list (no-op when pooling is off)."""
+        free = self._free
+        if free is not None and len(free) < _POOL_MAX:
+            event._release()
+            free.append(event)
+
     def _note_cancelled(self) -> None:
         self._cancelled_in_heap += 1
         heap = self._heap
@@ -354,6 +404,11 @@ class Simulator:
         ):
             # In-place rebuild (slice assignment) so a run() loop holding
             # a reference to the heap list keeps seeing the live heap.
+            if self._free is not None:
+                recycle = self._recycle
+                for ev in heap:
+                    if ev.cancelled:
+                        recycle(ev)
             heap[:] = [ev for ev in heap if not ev.cancelled]
             heapq.heapify(heap)
             self._cancelled_in_heap = 0
@@ -384,6 +439,10 @@ class Simulator:
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
+        if self._startup_hooks:
+            hooks, self._startup_hooks = self._startup_hooks, []
+            for hook in hooks:
+                hook()
         horizon = self._safe_horizon
         if horizon is not None and (until is None or horizon < until):
             until = horizon
@@ -396,6 +455,8 @@ class Simulator:
         heappop = heapq.heappop
         profiler = self._profiler
         controller = self._choice_controller
+        free = self._free
+        pool_max = _POOL_MAX
         try:
             while heap:
                 if self._stopped:
@@ -406,6 +467,9 @@ class Simulator:
                 if event.cancelled:
                     heappop(heap)
                     self._cancelled_in_heap -= 1
+                    if free is not None and len(free) < pool_max:
+                        event._release()
+                        free.append(event)
                     continue
                 if until is not None and event.time > until:
                     self._now = until
@@ -432,6 +496,11 @@ class Simulator:
                 if self._listeners:
                     for listener in self._listeners:
                         listener(self)
+                # The callback has run and any holder following the
+                # handle contract has dropped its reference — recycle.
+                if free is not None and len(free) < pool_max:
+                    event._release()
+                    free.append(event)
             else:
                 # Queue drained; advance to the deadline if one was given.
                 if until is not None and until > self._now:
@@ -464,6 +533,7 @@ class Simulator:
             if head.cancelled:
                 heappop(heap)
                 self._cancelled_in_heap -= 1
+                self._recycle(head)
                 continue
             if head.time != time or int(head.priority) != priority:
                 break

@@ -43,6 +43,26 @@ class RandomSource:
             self._streams[key] = stream
         return stream
 
+    def has_stream(self, *name) -> bool:
+        """True iff the named substream has been materialized.
+
+        Lazy consumers use this to tell "never drawn" apart from
+        "drawn before": a ``random.Random`` costs ~2.5 KB, so hot
+        call sites avoid materializing streams for components that
+        never end up drawing (see :meth:`stream_seed`).
+        """
+        return tuple(name) in self._streams
+
+    def stream_seed(self, *name) -> int:
+        """The seed :meth:`stream` would use for ``name``.
+
+        Derived from the root seed and the name alone — never from
+        stream state — so a caller can seed a reusable scratch
+        ``random.Random`` and reproduce the substream's draws without
+        materializing (and forever retaining) the memoized stream.
+        """
+        return _derive_seed(self.seed, tuple(name))
+
     def fork(self, *name) -> "RandomSource":
         """Derive an independent child :class:`RandomSource`."""
         return RandomSource(_derive_seed(self.seed, ("fork",) + tuple(name)))

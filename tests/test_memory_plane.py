@@ -1,0 +1,112 @@
+"""Memory-plane equivalence and use-after-release guards.
+
+The memory-plane fast path (event-shell pooling, interned messages,
+lazy per-node RNG streams, deferred bulk workload attach) is a pure
+optimization: this module pins the bit-identity contract — the same
+RunReport JSON with ``pooling`` on or off, and deferred attach equal to
+eager per-node attach — plus the debug-mode use-after-release
+detection on pooled event handles.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.explore.scenarios import scenario_pool
+from repro.harness.config_io import config_from_dict
+from repro.net.geometry import grid_positions
+from repro.runtime.app import HungerWorkload
+from repro.runtime.simulation import ScenarioConfig, Simulation
+from repro.sim.engine import Simulator
+
+
+def _report_json(config, until):
+    return Simulation(config).run(until=until).report().to_json()
+
+
+# ----------------------------------------------------------------------
+# Pooled runs are bit-identical to pooling=False
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm,family",
+    [
+        ("alg1-greedy", "fig6"),
+        ("alg2", "crash-line"),
+        ("alg2", "mobility-waypoint"),
+    ],
+)
+def test_pooling_off_is_bit_identical(algorithm, family):
+    pool = scenario_pool(algorithm, count=12, seed=11)
+    picked = [s for s in pool if s["family"] == family][:2]
+    assert picked, family
+    for scenario in picked:
+        config = config_from_dict(scenario["scenario"])
+        assert config.pooling  # pooling is the default
+        expected = _report_json(config, scenario["until"])
+        actual = _report_json(
+            dataclasses.replace(config, pooling=False), scenario["until"]
+        )
+        assert actual == expected
+
+
+def test_deferred_attach_matches_eager(monkeypatch):
+    """attach_all defers the per-node draws to run start; the resulting
+    run must match per-node eager attach bit for bit."""
+    config = ScenarioConfig(
+        positions=grid_positions(25, spacing=1.0),
+        radio_range=1.1,
+        algorithm="alg2",
+        seed=5,
+        crashes=[(12.0, 7)],
+    )
+    expected = _report_json(config, 40.0)
+
+    def eager(self, harnesses):
+        for harness in list(harnesses):
+            self.attach(harness)
+
+    monkeypatch.setattr(HungerWorkload, "attach_all", eager)
+    assert _report_json(config, 40.0) == expected
+
+
+# ----------------------------------------------------------------------
+# Use-after-release detection on pooled handles
+# ----------------------------------------------------------------------
+
+
+def test_cancel_after_release_raises():
+    sim = Simulator(pooling=True)
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.run(until=2.0)
+    assert fired == ["x"]
+    # The shell went back to the free list when the event fired; the
+    # stale handle must be rejected, not silently poison a recycled
+    # event.
+    with pytest.raises(AssertionError, match="use-after-release"):
+        event.cancel()
+
+
+def test_cancel_after_fire_without_pooling_is_noop():
+    sim = Simulator(pooling=False)
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.run(until=2.0)
+    event.cancel()  # the legacy harmless-no-op contract
+    assert fired == ["x"]
+
+
+def test_generation_stamp_invalidates_recycled_shell():
+    sim = Simulator(pooling=True)
+    event = sim.schedule(1.0, lambda: None)
+    generation = event.generation
+    sim.run(until=2.0)  # fires and releases the shell
+    recycled = sim.schedule(5.0, lambda: None)
+    # The free list hands the same shell back, one generation later:
+    # (event, generation) tokens captured before the release no longer
+    # validate, which is how the crash injector's retime path tells a
+    # live handle from a recycled one.
+    assert recycled is event
+    assert event.generation != generation

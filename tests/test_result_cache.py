@@ -54,6 +54,43 @@ def test_scenario_key_changes_when_config_fields_change():
         assert scenario_key(variant, 30.0, 1) != base_key
 
 
+def test_scenario_key_encodes_engine_shape():
+    config = _config()
+    base = scenario_key(config, 30.0, 1)
+    assert scenario_key(config, 30.0, 1, shards=2) != base
+    assert scenario_key(config, 30.0, 1, max_speed=1.5) != base
+    assert (
+        scenario_key(config, 30.0, 1, shards=2)
+        != scenario_key(config, 30.0, 1, shards=4)
+    )
+    # The default engine shape is part of the same scheme, not a
+    # special case: explicit defaults reproduce the two-argument key.
+    assert scenario_key(config, 30.0, 1, shards=1, max_speed=None) == base
+
+
+def test_sharded_replicate_caches_independently(tmp_path):
+    """Sharded replications cache (no bypass) under shard-specific keys."""
+    config = _config()
+    metrics = {"throughput": DEFAULT_METRICS["throughput"]}
+    classic = replicate(config, until=30.0, seeds=(1,), metrics=metrics,
+                        cache=tmp_path)
+    store = ResultCache(tmp_path)
+    assert store.get(scenario_key(config, 30.0, 1)) is not None
+    assert store.get(scenario_key(config, 30.0, 1, shards=2)) is None
+    sharded = replicate(config, until=30.0, seeds=(1,), metrics=metrics,
+                        cache=tmp_path, shards=2)
+    assert store.get(scenario_key(config, 30.0, 1, shards=2)) is not None
+    # Cached sharded entries replay for sharded calls only.
+    again = replicate(config, until=30.0, seeds=(1,), metrics=metrics,
+                      cache=tmp_path, shards=2)
+    assert _estimates_equal(again["throughput"], sharded["throughput"])
+    assert _estimates_equal(
+        replicate(config, until=30.0, seeds=(1,), metrics=metrics,
+                  cache=tmp_path)["throughput"],
+        classic["throughput"],
+    )
+
+
 def test_unserializable_scenarios_are_uncacheable():
     assert scenario_key(_config(algorithm=lambda ctx: None), 30.0, 1) is None
     assert (
