@@ -44,7 +44,9 @@ from pathlib import Path
 
 import pytest
 
+from repro._version import __version__
 from repro.harness.multiseed import DEFAULT_METRICS, replicate
+from repro.obs.bench_history import HISTORY_NAME, append_record, git_commit
 from repro.mobility import MobilityController
 from repro.net.channel import ChannelLayer
 from repro.net.linklayer import LinkLayer
@@ -68,26 +70,47 @@ _RESULTS = {}
 _WRITE_ENV = "REPRO_WRITE_BENCH"
 
 
-def _record(name: str, entry: dict) -> dict:
-    """Store one bench section, stamped with the process peak RSS.
+_GIT_COMMIT = git_commit(Path(__file__).resolve().parent)
 
-    The stamp is the high-water mark *up to this point of the session*
-    (``ru_maxrss`` never decreases), so sections later in the file
-    inherit earlier peaks; per-section deltas are only meaningful
-    against the same section in an earlier baseline.
+
+def _record(name: str, entry: dict) -> dict:
+    """Store one bench section, stamped with provenance + peak RSS.
+
+    The RSS stamp is the high-water mark *up to this point of the
+    session* (``ru_maxrss`` never decreases), so sections later in the
+    file inherit earlier peaks; per-section deltas are only meaningful
+    against the same section in an earlier baseline.  The commit and
+    version stamps keep the legacy ``BENCH_core.json`` snapshot and the
+    ``BENCH_history.jsonl`` trajectory agreeing on provenance.
     """
     entry["peak_rss_kb"] = peak_rss_kb()
+    entry["git_commit"] = _GIT_COMMIT
+    entry["version"] = __version__
     _RESULTS[name] = entry
     return entry
 
 
 @pytest.fixture(scope="module", autouse=True)
 def _bench_sink():
-    """Collect per-test measurements; emit BENCH_core.json only on opt-in."""
+    """Collect per-test measurements; emit BENCH files only on opt-in.
+
+    On ``REPRO_WRITE_BENCH=1`` the run overwrites the ``BENCH_core.json``
+    snapshot (the legacy at-a-glance view) *and* appends one stamped
+    record to ``BENCH_history.jsonl`` (the append-only trajectory
+    ``repro bench check`` compares against).
+    """
     yield
     if os.environ.get(_WRITE_ENV) and _RESULTS:
-        path = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+        # Sections created via setdefault() bypass _record(); give them
+        # the same provenance stamps before anything is written.
+        for entry in _RESULTS.values():
+            entry.setdefault("peak_rss_kb", peak_rss_kb())
+            entry.setdefault("git_commit", _GIT_COMMIT)
+            entry.setdefault("version", __version__)
+        root = Path(__file__).resolve().parent.parent
+        path = root / "BENCH_core.json"
         path.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+        append_record(root / HISTORY_NAME, _RESULTS, commit=_GIT_COMMIT)
 
 
 def _timed(fn):

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Eight subcommands::
 
     python -m repro algorithms            # list registered protocols
     python -m repro run ...               # one simulation, summarized
@@ -9,6 +9,10 @@ Six subcommands::
     python -m repro report ...            # inspect / diff RunReport JSON
     python -m repro explore ...           # adversarial exploration
                                           #   (fuzz | replay | shrink)
+    python -m repro metrics ...           # OpenMetrics export / scrape
+                                          #   endpoint (export | serve)
+    python -m repro bench ...             # append-only bench history
+                                          #   (append | history | check)
 
 ``explore fuzz`` runs a seeded campaign of controlled schedules with
 invariant monitors attached and exits 1 when any monitor fires, saving
@@ -22,7 +26,12 @@ Topology specs are compact strings: ``line:13``, ``grid:25``,
 ``run --report out.json`` saves the run's structured
 :class:`~repro.obs.report.RunReport` (telemetry is switched on
 implicitly so the probe metrics are populated); ``compare --report``
-saves one JSON object keyed by algorithm name.
+saves one JSON object keyed by algorithm name.  ``run --metrics
+out.prom`` additionally writes the probe snapshot as OpenMetrics text;
+``metrics serve report.json`` turns a saved report into a Prometheus
+scrape endpoint; ``bench check`` exits 1 when the newest
+``BENCH_history.jsonl`` record regressed past the calibrated-jitter
+tolerance.
 """
 
 from __future__ import annotations
@@ -124,8 +133,11 @@ def build_config(args, algorithm: Optional[str] = None) -> ScenarioConfig:
         crashes=[parse_crash(c) for c in args.crash],
         delta_override=len(positions) - 1 if args.movers else None,
         mobility_factory=mobility_factory,
-        # A report is only useful with the probe metrics in it.
-        telemetry=bool(getattr(args, "report", None)),
+        # A report or metrics snapshot is only useful with the probe
+        # metrics in it.
+        telemetry=bool(
+            getattr(args, "report", None) or getattr(args, "metrics", None)
+        ),
         watchdog=getattr(args, "watchdog", None),
     )
 
@@ -186,6 +198,10 @@ def cmd_run(args, out) -> int:
     if args.report:
         path = result.report().save(args.report)
         out.write(f"report written to {path}\n")
+    if getattr(args, "metrics", None):
+        path = Path(args.metrics)
+        path.write_text(result.openmetrics())
+        out.write(f"metrics written to {path}\n")
     return 0
 
 
@@ -331,6 +347,130 @@ def cmd_explore_shrink(args, out) -> int:
     return 0
 
 
+def cmd_metrics(args, out) -> int:
+    handlers = {
+        "export": cmd_metrics_export,
+        "serve": cmd_metrics_serve,
+    }
+    return handlers[args.metrics_command](args, out)
+
+
+def _report_openmetrics(path) -> str:
+    from repro.obs.openmetrics import openmetrics_from_report
+
+    return openmetrics_from_report(RunReport.load(path))
+
+
+def cmd_metrics_export(args, out) -> int:
+    text = _report_openmetrics(args.file)
+    if args.out:
+        Path(args.out).write_text(text)
+        out.write(f"metrics written to {args.out}\n")
+    else:
+        out.write(text)
+    return 0
+
+
+def cmd_metrics_serve(args, out) -> int:
+    from repro.obs.openmetrics import build_metrics_server
+
+    # Re-read the report on every scrape so a long-running harness can
+    # keep rewriting the file and Prometheus sees fresh numbers.
+    server = build_metrics_server(
+        lambda: _report_openmetrics(args.file),
+        host=args.host,
+        port=args.port,
+    )
+    host, port = server.server_address[:2]
+    out.write(f"serving metrics on http://{host}:{port}/metrics\n")
+    try:
+        if args.once:
+            server.handle_request()
+        else:  # pragma: no cover - interactive loop
+            server.serve_forever()
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    handlers = {
+        "append": cmd_bench_append,
+        "history": cmd_bench_history,
+        "check": cmd_bench_check,
+    }
+    return handlers[args.bench_command](args, out)
+
+
+def cmd_bench_append(args, out) -> int:
+    from repro.obs.bench_history import append_record
+
+    sections = json.loads(Path(args.bench).read_text())
+    if not isinstance(sections, dict):
+        raise ConfigurationError(
+            f"{args.bench}: bench snapshot must be a JSON object"
+        )
+    record = append_record(args.history, sections)
+    out.write(
+        f"appended {len(record['sections'])} section(s) at "
+        f"{record['timestamp']} "
+        f"(commit {record['git_commit'] or 'unknown'}, "
+        f"version {record['version']}) to {args.history}\n"
+    )
+    return 0
+
+
+def cmd_bench_history(args, out) -> int:
+    from repro.obs.bench_history import load_history
+
+    records = load_history(args.history)
+    if not records:
+        out.write(f"no records in {args.history}\n")
+        return 0
+    rows = []
+    for record in records[-args.last:] if args.last else records:
+        commit = record.get("git_commit") or "-"
+        rows.append([
+            record.get("timestamp", "-"),
+            commit[:12],
+            record.get("version", "-"),
+            len(record.get("sections", {})),
+            record.get("peak_rss_kb") or "-",
+        ])
+    out.write(render_table(
+        ["timestamp", "commit", "version", "sections", "peak rss kb"],
+        rows,
+        title=f"{len(records)} record(s) in {args.history}",
+    ) + "\n")
+    return 0
+
+
+def cmd_bench_check(args, out) -> int:
+    from repro.obs.bench_history import check_latest, load_history
+
+    records = load_history(args.history)
+    if len(records) < 2:
+        out.write(
+            f"{len(records)} record(s) in {args.history}: "
+            "nothing to compare against yet\n"
+        )
+        return 0
+    result = check_latest(records, floor=args.floor, window=args.window)
+    out.write(
+        f"checked {result.checked} metric(s) against a trailing median of "
+        f"{result.baseline_records} record(s), tolerance "
+        f"{result.tolerance:.1%} (jitter {result.jitter:.1%}, floor "
+        f"{args.floor:.1%})\n"
+    )
+    if result.clean:
+        out.write("no regressions\n")
+        return 0
+    for regression in result.regressions:
+        out.write(f"REGRESSION {regression.describe()}\n")
+    out.write(f"{len(result.regressions)} regression(s) detected\n")
+    return 0 if args.report_only else 1
+
+
 def cmd_locality(args, out) -> int:
     reports = {}
     for algorithm in args.algorithms:
@@ -402,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run_parser)
     run_parser.add_argument("--algorithm", default="alg2",
                             choices=sorted(ALGORITHMS))
+    run_parser.add_argument(
+        "--metrics", default=None, metavar="OUT.prom",
+        help="write the probe snapshot as OpenMetrics text "
+             "(enables telemetry)",
+    )
     run_parser.add_argument(
         "--watchdog", type=float, default=None, metavar="THRESHOLD",
         help="warn when a node stays hungry longer than this (virtual time)",
@@ -483,6 +628,61 @@ def build_parser() -> argparse.ArgumentParser:
     shrink_parser.add_argument("--out", default=None, metavar="OUT.json",
                                help="destination (default: <file>.min.json)")
     shrink_parser.add_argument("--max-replays", type=int, default=300)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="OpenMetrics export and scrape endpoint"
+    )
+    metrics_sub = metrics_parser.add_subparsers(
+        dest="metrics_command", required=True
+    )
+    export_parser = metrics_sub.add_parser(
+        "export", help="render a saved RunReport as OpenMetrics text"
+    )
+    export_parser.add_argument("file", metavar="REPORT.json")
+    export_parser.add_argument("--out", default=None, metavar="OUT.prom",
+                               help="destination (default: stdout)")
+    serve_parser = metrics_sub.add_parser(
+        "serve", help="serve a saved RunReport on /metrics "
+                      "(re-read per scrape)"
+    )
+    serve_parser.add_argument("file", metavar="REPORT.json")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=9464)
+    serve_parser.add_argument("--once", action="store_true",
+                              help="serve a single request, then exit")
+
+    bench_parser = sub.add_parser(
+        "bench", help="append-only bench history and regression checks"
+    )
+    bench_sub = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+    append_parser = bench_sub.add_parser(
+        "append", help="append a BENCH_core.json snapshot to the history"
+    )
+    append_parser.add_argument("--bench", default="BENCH_core.json",
+                               metavar="BENCH.json")
+    append_parser.add_argument("--history", default="BENCH_history.jsonl",
+                               metavar="HISTORY.jsonl")
+    history_parser = bench_sub.add_parser(
+        "history", help="list the recorded bench runs"
+    )
+    history_parser.add_argument("--history", default="BENCH_history.jsonl",
+                                metavar="HISTORY.jsonl")
+    history_parser.add_argument("--last", type=int, default=0,
+                                help="only show the last N records")
+    check_parser = bench_sub.add_parser(
+        "check", help="compare the newest record to the trailing median "
+                      "(exit 1 on regression)"
+    )
+    check_parser.add_argument("--history", default="BENCH_history.jsonl",
+                              metavar="HISTORY.jsonl")
+    check_parser.add_argument("--floor", type=float, default=0.05,
+                              help="minimum drift fraction that flags")
+    check_parser.add_argument("--window", type=int, default=5,
+                              help="trailing records forming the baseline")
+    check_parser.add_argument("--report-only", action="store_true",
+                              help="report regressions but exit 0")
     return parser
 
 
@@ -505,6 +705,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "locality": cmd_locality,
         "report": cmd_report,
         "explore": cmd_explore,
+        "metrics": cmd_metrics,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args, out)

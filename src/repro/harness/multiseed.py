@@ -131,15 +131,17 @@ def _run_seed(
     report_dir: Optional[str] = None,
     shards: int = 1,
     max_speed: Optional[float] = None,
+    metrics_dir: Optional[str] = None,
 ) -> Dict[str, float]:
     """Execute one seeded run and extract its scalar metrics.
 
     Module-level so worker processes can unpickle it.  With
     ``report_dir`` set, the run's full :class:`RunReport` is saved as
-    ``<scenario_key>.json`` alongside the scalar extraction.  With
-    ``shards > 1`` the run goes through the sharded engine (shards
-    hosted in-process: the seed fan-out is already the process-level
-    parallelism here).
+    ``<scenario_key>.json`` alongside the scalar extraction; with
+    ``metrics_dir`` set, the probe snapshot is saved as
+    ``<scenario_key>.prom`` OpenMetrics text.  With ``shards > 1`` the
+    run goes through the sharded engine (shards hosted in-process: the
+    seed fan-out is already the process-level parallelism here).
     """
     seeded = dataclasses.replace(config, seed=seed)
     if shards > 1:
@@ -150,13 +152,15 @@ def _run_seed(
         ).run(until=until)
     else:
         result = Simulation(seeded).run(until=until)
+    stem = _report_name(config, until, seed, shards, max_speed)
     if report_dir is not None:
         directory = Path(report_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        result.report().save(
-            directory
-            / f"{_report_name(config, until, seed, shards, max_speed)}.json"
-        )
+        result.report().save(directory / f"{stem}.json")
+    if metrics_dir is not None:
+        directory = Path(metrics_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{stem}.prom").write_text(result.openmetrics())
     return {name: fn(result) for name, fn in metrics.items()}
 
 
@@ -168,6 +172,7 @@ def _collect_samples(
     report_dir: Optional[str] = None,
     shards: int = 1,
     max_speed: Optional[float] = None,
+    metrics_dir: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """Metric dicts for each (config, until, seed) job, in job order.
 
@@ -197,9 +202,12 @@ def _collect_samples(
 
     # Keep the no-report call shape identical to the historical one so
     # instrumented wrappers around _run_seed (tests, user tooling) only
-    # need the extra arguments when reports or shards were requested.
-    if shards != 1:
-        extra: Tuple = (report_dir, shards, max_speed)
+    # need the extra arguments when reports, shards or metrics dumps
+    # were requested.
+    if metrics_dir is not None:
+        extra: Tuple = (report_dir, shards, max_speed, metrics_dir)
+    elif shards != 1:
+        extra = (report_dir, shards, max_speed)
     elif report_dir is not None:
         extra = (report_dir,)
     else:
@@ -239,6 +247,7 @@ def replicate(
     report_dir: Union[str, Path, None] = None,
     shards: int = 1,
     max_speed: Optional[float] = None,
+    metrics_dir: Union[str, Path, None] = None,
 ) -> Dict[str, Estimate]:
     """Run a scenario under each seed; estimate each scalar metric.
 
@@ -261,6 +270,10 @@ def replicate(
             shards of one run are hosted in-process — ``workers`` is
             already the process-level fan-out here.
         max_speed: speed bound for sharded runs with mobility.
+        metrics_dir: directory receiving one OpenMetrics ``.prom``
+            snapshot per *executed* seed (same naming and cache-skip
+            semantics as ``report_dir``).  Requires the scenario to
+            have ``telemetry=True`` for the snapshot to carry samples.
     """
     seed_list = list(seeds)
     store = resolve_cache(cache)
@@ -268,6 +281,7 @@ def replicate(
         [(config, until, seed) for seed in seed_list], metrics, workers,
         store, str(report_dir) if report_dir is not None else None,
         shards, max_speed,
+        str(metrics_dir) if metrics_dir is not None else None,
     )
     return {
         name: estimate([sample[name] for sample in samples])
@@ -298,6 +312,7 @@ def sweep(
     report_dir: Union[str, Path, None] = None,
     shards: int = 1,
     max_speed: Optional[float] = None,
+    metrics_dir: Union[str, Path, None] = None,
 ) -> List[SweepPoint]:
     """Replicate across the cartesian product of config-field overrides.
 
@@ -312,6 +327,7 @@ def sweep(
     ``report_dir`` behaves as in :func:`replicate`: one ``RunReport``
     JSON per executed (point, seed) run, named by scenario key so
     different grid points never collide; cache hits write nothing.
+    ``metrics_dir`` is the OpenMetrics sibling of ``report_dir``.
     ``shards``/``max_speed`` behave as in :func:`replicate` and are
     part of every cache key, so sharded sweeps cache independently of
     classic ones.
@@ -333,6 +349,7 @@ def sweep(
         jobs, metrics, workers, store,
         str(report_dir) if report_dir is not None else None,
         shards, max_speed,
+        str(metrics_dir) if metrics_dir is not None else None,
     )
     points: List[SweepPoint] = []
     for i, combo in enumerate(combos):

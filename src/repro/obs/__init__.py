@@ -5,21 +5,31 @@ numbers from.  See ``docs/observability.md`` for the registry idiom,
 the probe catalogue, the report schema and the starvation watchdog.
 """
 
+from repro.obs.bench_history import append_record, check_latest, load_history
+from repro.obs.openmetrics import (
+    build_metrics_server,
+    openmetrics_from_report,
+    render_openmetrics,
+    render_registry,
+)
 from repro.obs.probes import ProtocolProbes, build_probes
 from repro.obs.profiler import EngineProfiler
 from repro.obs.registry import (
+    DEFAULT_BUCKETS,
     NULL_REGISTRY,
     Counter,
     Gauge,
     Histogram,
     MetricRegistry,
     live_registry,
+    merge_snapshots,
 )
 from repro.obs.report import SCHEMA_VERSION, RunReport
 from repro.obs.watchdog import StarvationWarning, StarvationWatchdog
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "EngineProfiler",
     "Gauge",
     "Histogram",
@@ -30,6 +40,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "StarvationWarning",
     "StarvationWatchdog",
+    "append_record",
+    "build_metrics_server",
     "build_probes",
+    "check_latest",
     "live_registry",
+    "load_history",
+    "merge_snapshots",
+    "openmetrics_from_report",
+    "render_openmetrics",
+    "render_registry",
 ]

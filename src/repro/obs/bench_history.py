@@ -1,0 +1,315 @@
+"""Append-only benchmark history with cross-commit regression detection.
+
+``BENCH_core.json`` is a *snapshot* — each perf-bench run overwrites
+it, so the repo only ever records the latest measurement and a
+regression shows up (if at all) as a suspicious diff in review.  This
+module turns the same measurements into a *trajectory*:
+
+* :func:`append_record` appends one JSON line to ``BENCH_history.jsonl``
+  — the full bench sections stamped with the library version, the git
+  commit, a UTC timestamp and the process peak RSS.  Append-only means
+  the file is an audit log: nothing rewrites history.
+* :func:`check_latest` compares the newest record against a
+  **trailing-median baseline** (the per-metric median of the preceding
+  ``window`` records, robust to a single hot or cold run) and flags
+  every tracked metric that drifted beyond
+  ``max(calibrated jitter, floor)`` in its bad direction.
+
+The jitter bound reuses the calibration machinery the wall-clock bench
+guards already trust: every bench section that timed anything recorded
+a ``calibration_jitter`` (spread of same-session bare event-loop
+calibrations), and the largest jitter observed in the latest record is
+the noise level below which a wall-clock delta means nothing on that
+box.  Deterministic metrics (counters, ratios of counters) still get
+the floor, so a real 2x regression is flagged even when the box was
+noisy.
+
+Which leaves are tracked is a *suffix contract*, not a hand-kept list:
+``*_seconds`` and ``peak_rss_kb`` must not grow, ``*_per_second`` /
+``*speedup*`` / ``*_ratio`` must not shrink, and everything else
+(counts, parameters, jitters) is context, not a metric.  New bench
+sections therefore join the regression net just by following the
+existing naming convention.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+from repro.obs.report import _flatten
+
+#: Default history file name, at the repo root next to BENCH_core.json.
+HISTORY_NAME = "BENCH_history.jsonl"
+
+#: Default drift floor: deltas under 5% never flag, jitter can only
+#: widen the band.
+DEFAULT_FLOOR = 0.05
+
+#: Trailing-median window (records, newest first) forming the baseline.
+DEFAULT_WINDOW = 5
+
+#: Peak-RSS leaves get a wider floor: ``ru_maxrss`` is a session high
+#: water shaped by test order and allocator behavior, not a clean
+#: per-section measurement.
+RSS_FLOOR = 0.25
+
+_HIGHER_BETTER_SUFFIXES = ("_per_second", "_per_sec", "_ratio")
+_HIGHER_BETTER_TOKENS = ("speedup",)
+_LOWER_BETTER_SUFFIXES = ("_seconds",)
+_RSS_LEAF = "peak_rss_kb"
+
+
+def git_commit(cwd: Union[str, Path, None] = None) -> Optional[str]:
+    """The current ``git rev-parse HEAD``, or ``None`` outside a repo."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if output.returncode != 0:
+        return None
+    commit = output.stdout.strip()
+    return commit or None
+
+
+def utc_timestamp() -> str:
+    """Current UTC time in ISO-8601 (the record stamp)."""
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def append_record(
+    history_path: Union[str, Path],
+    sections: Mapping[str, Any],
+    *,
+    version: Optional[str] = None,
+    commit: Optional[str] = None,
+    timestamp: Optional[str] = None,
+    peak_rss_kb: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Append one bench record as a canonical JSON line; returns it.
+
+    ``sections`` is the ``BENCH_core.json`` payload; provenance fields
+    default to the live library version, the repo's HEAD commit and the
+    current UTC time.
+    """
+    if peak_rss_kb is None:
+        from repro.runtime.simulation import peak_rss_kb as _peak
+
+        peak_rss_kb = _peak()
+    record: Dict[str, Any] = {
+        "version": version if version is not None else __version__,
+        "git_commit": (
+            commit if commit is not None
+            else git_commit(Path(history_path).resolve().parent)
+        ),
+        "timestamp": timestamp if timestamp is not None else utc_timestamp(),
+        "peak_rss_kb": peak_rss_kb,
+        "sections": dict(sections),
+    }
+    path = Path(history_path)
+    line = json.dumps(record, sort_keys=True)
+    with path.open("a") as handle:
+        handle.write(line + "\n")
+    return record
+
+
+def load_history(history_path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All records in append order; raises on a corrupt line.
+
+    The history is an audit log — a line that does not parse means the
+    file was hand-edited or truncated mid-append, which the caller
+    should hear about rather than silently compare against less data.
+    """
+    path = Path(history_path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: corrupt history line: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "sections" not in record:
+            raise ConfigurationError(
+                f"{path}:{lineno}: history record must be an object "
+                "with a 'sections' field"
+            )
+        records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Regression detection
+# ----------------------------------------------------------------------
+
+
+def metric_direction(path: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` for tracked leaves, ``None`` otherwise.
+
+    The leaf (last dotted component, index brackets stripped) decides:
+    throughputs, speedups and ratios must not shrink; wall-clock
+    seconds and peak RSS must not grow.  ``calibration_jitter`` and
+    ``machine_factor`` are measurement context and never tracked.
+    """
+    leaf = path.rsplit(".", 1)[-1]
+    leaf = leaf.split("[", 1)[0]
+    if leaf in ("calibration_jitter", "machine_factor"):
+        return None
+    if leaf == _RSS_LEAF:
+        return "lower"
+    if leaf.endswith(_LOWER_BETTER_SUFFIXES):
+        return "lower"
+    if leaf.endswith(_HIGHER_BETTER_SUFFIXES):
+        return "higher"
+    if any(token in leaf for token in _HIGHER_BETTER_TOKENS):
+        return "higher"
+    return None
+
+
+def calibrated_jitter(record: Mapping[str, Any]) -> float:
+    """Largest ``calibration_jitter`` leaf in one record (0.0 if none)."""
+    jitter = 0.0
+    for path, value in _flatten(dict(record.get("sections", {}))).items():
+        if path.rsplit(".", 1)[-1].split("[", 1)[0] != "calibration_jitter":
+            continue
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            jitter = max(jitter, float(value))
+    return jitter
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One tracked metric that drifted past its tolerance."""
+
+    metric: str
+    direction: str
+    value: float
+    baseline: float
+    #: value/baseline — > 1 means grew, < 1 means shrank.
+    ratio: float
+    tolerance: float
+    baseline_samples: int
+
+    def describe(self) -> str:
+        verb = "grew" if self.direction == "lower" else "fell"
+        return (
+            f"{self.metric}: {verb} {abs(self.ratio - 1):.1%} "
+            f"({self.baseline:g} -> {self.value:g}, tolerance "
+            f"{self.tolerance:.1%} over {self.baseline_samples} run(s))"
+        )
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of comparing the latest record to its trailing baseline."""
+
+    regressions: List[Regression]
+    checked: int
+    tolerance: float
+    jitter: float
+    baseline_records: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+
+def check_latest(
+    history: Sequence[Mapping[str, Any]],
+    *,
+    floor: float = DEFAULT_FLOOR,
+    window: int = DEFAULT_WINDOW,
+) -> CheckResult:
+    """Compare the newest record against the trailing-median baseline.
+
+    A tracked metric regresses when it moved beyond
+    ``max(floor, calibrated jitter)`` (``max(floor, jitter, RSS_FLOOR)``
+    for peak-RSS leaves) in its bad direction relative to the
+    per-metric median of up to ``window`` preceding records.  Metrics
+    absent from every baseline record (new benches) are skipped —
+    they start their own trend.
+    """
+    if len(history) < 2:
+        return CheckResult(
+            regressions=[], checked=0,
+            tolerance=floor, jitter=0.0, baseline_records=0,
+        )
+    latest = history[-1]
+    baseline_records = list(history[-(window + 1):-1])
+    jitter = calibrated_jitter(latest)
+    tolerance = max(floor, jitter)
+    latest_leaves = _flatten(dict(latest.get("sections", {})))
+    baseline_leaves = [
+        _flatten(dict(record.get("sections", {})))
+        for record in baseline_records
+    ]
+    regressions: List[Regression] = []
+    checked = 0
+    for path in sorted(latest_leaves):
+        direction = metric_direction(path)
+        if direction is None:
+            continue
+        value = latest_leaves[path]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        samples = [
+            leaves[path]
+            for leaves in baseline_leaves
+            if isinstance(leaves.get(path), (int, float))
+            and not isinstance(leaves.get(path), bool)
+        ]
+        if not samples:
+            continue
+        checked += 1
+        baseline = _median([float(s) for s in samples])
+        if baseline == 0:
+            continue
+        bound = tolerance
+        if path.rsplit(".", 1)[-1].split("[", 1)[0] == _RSS_LEAF:
+            bound = max(bound, RSS_FLOOR)
+        ratio = value / baseline
+        bad = (
+            ratio > 1 + bound if direction == "lower"
+            else ratio < 1 - bound
+        )
+        if bad:
+            regressions.append(Regression(
+                metric=path,
+                direction=direction,
+                value=float(value),
+                baseline=baseline,
+                ratio=ratio,
+                tolerance=bound,
+                baseline_samples=len(samples),
+            ))
+    return CheckResult(
+        regressions=regressions,
+        checked=checked,
+        tolerance=tolerance,
+        jitter=jitter,
+        baseline_records=len(baseline_records),
+    )

@@ -26,9 +26,25 @@ simulation, so a fixed-seed run produces a bit-identical
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds, in virtual time units.  A
+#: 1-2.5-5 decade ladder wide enough for both sub-delay latencies
+#: (fork grants arrive within one ``nu``) and whole-run durations;
+#: ``+Inf`` is implicit.  Chosen once and shared by every shard so
+#: cumulative bucket counts merge by plain addition.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+
+def format_bound(bound: float) -> str:
+    """Canonical text form of a bucket bound (snapshot key, ``le`` label)."""
+    return f"{bound:g}"
 
 
 class _Instrument:
@@ -128,23 +144,27 @@ class Gauge(_Instrument):
 
 
 class _HistogramCell:
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "bucket_counts")
 
-    def __init__(self) -> None:
+    def __init__(self, n_buckets: int) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        # One slot per finite bound plus the implicit +Inf overflow;
+        # counts are per-bucket here and cumulated at snapshot time.
+        self.bucket_counts = [0] * (n_buckets + 1)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, bucket_index: int) -> None:
         self.count += 1
         self.total += value
+        self.bucket_counts[bucket_index] += 1
         if self.minimum is None or value < self.minimum:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, bounds: Sequence[float]) -> Dict[str, object]:
         data: Dict[str, object] = {
             "count": self.count,
             "total": self.total,
@@ -153,28 +173,55 @@ class _HistogramCell:
         }
         if self.count:
             data["mean"] = self.total / self.count
+            cumulative = 0
+            buckets: Dict[str, int] = {}
+            for bound, bucket in zip(bounds, self.bucket_counts):
+                cumulative += bucket
+                buckets[format_bound(bound)] = cumulative
+            buckets["+Inf"] = self.count
+            data["buckets"] = buckets
         return data
 
 
 class Histogram(_Instrument):
-    """Streaming summary (count/total/min/max/mean) of observations."""
+    """Streaming summary of observations with cumulative buckets.
+
+    Tracks count/total/min/max/mean plus per-bucket counts over a fixed
+    bound ladder (:data:`DEFAULT_BUCKETS` unless overridden at
+    creation).  Snapshots expose the buckets *cumulatively* — the form
+    OpenMetrics histograms use and the form that merges across shards
+    by plain addition.
+    """
 
     kind = "histogram"
 
-    __slots__ = ("_all", "_by_key")
+    __slots__ = ("_all", "_by_key", "bounds")
 
-    def __init__(self, name: str, description: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
         super().__init__(name, description)
-        self._all = _HistogramCell()
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} bucket bounds must be non-empty and "
+                f"strictly increasing: {bounds}"
+            )
+        self.bounds = bounds
+        self._all = _HistogramCell(len(bounds))
         self._by_key: Dict[str, _HistogramCell] = {}
 
     def observe(self, value: float, key: Optional[str] = None) -> None:
-        self._all.observe(value)
+        index = bisect_left(self.bounds, value)
+        self._all.observe(value, index)
         if key is not None:
             cell = self._by_key.get(key)
             if cell is None:
-                cell = self._by_key[key] = _HistogramCell()
-            cell.observe(value)
+                cell = self._by_key[key] = _HistogramCell(len(self.bounds))
+            cell.observe(value, index)
 
     @property
     def count(self) -> int:
@@ -192,10 +239,10 @@ class Histogram(_Instrument):
 
     def snapshot(self) -> Dict[str, object]:
         data: Dict[str, object] = {"kind": self.kind}
-        data.update(self._all.snapshot())
+        data.update(self._all.snapshot(self.bounds))
         if self._by_key:
             data["by_key"] = {
-                key: cell.snapshot()
+                key: cell.snapshot(self.bounds)
                 for key, cell in sorted(self._by_key.items())
             }
         return data
@@ -234,8 +281,23 @@ class MetricRegistry:
     def gauge(self, name: str, description: str = "") -> Gauge:
         return self._get_or_create(Gauge, name, description)
 
-    def histogram(self, name: str, description: str = "") -> Histogram:
-        return self._get_or_create(Histogram, name, description)
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Histogram(
+                name, description, buckets=buckets
+            )
+        elif not isinstance(instrument, Histogram):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, not {Histogram.kind}"
+            )
+        return instrument
 
     def get(self, name: str) -> Optional[_Instrument]:
         return self._instruments.get(name)
@@ -276,3 +338,90 @@ def live_registry(registry: Optional[MetricRegistry]) -> Optional[MetricRegistry
     if registry is None or not registry.enabled:
         return None
     return registry
+
+
+# ----------------------------------------------------------------------
+# Cross-registry snapshot merging (sharded runs)
+# ----------------------------------------------------------------------
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, Mapping[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Merge per-shard ``MetricRegistry.snapshot()`` dicts into one.
+
+    The shards of a run own disjoint node sets, so extensive quantities
+    add: counter values, gauge levels, histogram counts/totals and
+    cumulative bucket counts all sum.  Histogram ``min``/``max`` take
+    the min/max across shards and ``mean`` is recomputed from the
+    merged total/count.  Gauge ``high_water`` sums too — per-shard
+    peaks need not coincide in time, so the sum is an upper bound on
+    the true network-wide high water (and exact when levels only grow).
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for name, data in snapshot.items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = _copy_instrument(data)
+            else:
+                _merge_instrument(into, data)
+    for data in merged.values():
+        _refresh_means(data)
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def _copy_instrument(data: Mapping[str, object]) -> Dict[str, object]:
+    return {
+        key: (
+            {k: _copy_instrument(v) if isinstance(v, Mapping) else v
+             for k, v in value.items()}
+            if isinstance(value, Mapping)
+            else value
+        )
+        for key, value in data.items()
+    }
+
+
+def _merge_instrument(
+    into: Dict[str, object], data: Mapping[str, object]
+) -> None:
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            sub = into.setdefault(key, {})
+            if isinstance(sub, dict):
+                _merge_instrument(sub, value)
+            continue
+        if key == "kind":
+            if into.get("kind") != value:
+                raise ConfigurationError(
+                    f"cannot merge snapshots: instrument kinds differ "
+                    f"({into.get('kind')!r} vs {value!r})"
+                )
+            continue
+        current = into.get(key)
+        if key == "min":
+            if value is not None and (current is None or value < current):
+                into[key] = value
+        elif key == "max":
+            if value is not None and (current is None or value > current):
+                into[key] = value
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            into.setdefault(key, value)
+        elif current is None:
+            into[key] = value
+        else:
+            into[key] = current + value
+
+
+def _refresh_means(data: Dict[str, object]) -> None:
+    """Recompute derived fields the additive merge cannot sum."""
+    if data.get("kind") == "histogram":
+        count = data.get("count")
+        if isinstance(count, (int, float)) and count:
+            data["mean"] = data["total"] / count
+        by_key = data.get("by_key")
+        if isinstance(by_key, dict):
+            for cell in by_key.values():
+                if isinstance(cell, dict) and cell.get("count"):
+                    cell["mean"] = cell["total"] / cell["count"]

@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
+from repro.obs.registry import merge_snapshots
 from repro.net.geometry import Point
 from repro.net.topology import DynamicTopology
 from repro.runtime.simulation import (
@@ -622,7 +623,7 @@ class ShardedEngine:
         """
         metrics = MetricsCollector()
         channel: Dict[str, Any] = {}
-        probes: Dict[str, Any] = {}
+        shard_probes: Dict[str, Dict[str, Any]] = {}
         messages_by_kind: Dict[str, int] = {}
         warnings: List[Dict[str, Any]] = []
         engine: Dict[str, Any] = {
@@ -649,7 +650,8 @@ class ShardedEngine:
             messages_sent += payload["messages_sent"]
             _sum_numeric_into(messages_by_kind, payload["messages_by_kind"])
             _sum_numeric_into(channel, payload["channel"])
-            _sum_numeric_into(probes, payload["probes"])
+            if payload["probes"]:
+                shard_probes[str(shard_id)] = payload["probes"]
             warnings.extend(payload["watchdog_warnings"])
             shard_engine = payload["engine"]
             engine["executed_events"] += shard_engine["executed_events"]
@@ -676,6 +678,12 @@ class ShardedEngine:
         warnings.sort(
             key=lambda w: (w.get("hungry_since", 0.0), w.get("node", -1))
         )
+        # Instrument-aware merge (min of mins, max of maxes, summed
+        # counts with recomputed means) rather than blind numeric
+        # summation, which would corrupt histogram extrema.
+        probes = merge_snapshots(
+            [shard_probes[k] for k in sorted(shard_probes, key=int)]
+        )
         if rss_total is None:
             rss_total = peak_rss_kb()
         else:
@@ -701,6 +709,13 @@ class ShardedEngine:
                 "events_per_sec": 0.0,
                 "peak_rss_kb": rss_total,
                 "workers": self.workers,
+                # Per-shard registry snapshots ride under resources so
+                # canonical (non-profile) reports stay bit-identical;
+                # the OpenMetrics exporter labels them shard="k".
+                **(
+                    {"shard_probes": shard_probes}
+                    if shard_probes else {}
+                ),
             },
         )
 

@@ -173,3 +173,126 @@ class Lemma4Checker:
                     f"Lemma 4 violated at t={simulation.sim.now}: neighbors "
                     f"{a} and {b} both behind SDf with color {alg_a.my_color}"
                 )
+
+
+# -- OpenMetrics test parser ------------------------------------------------
+
+_OM_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict]:
+    """Strictly parse OpenMetrics exposition text.
+
+    Deliberately hand-rolled and unforgiving — the point is to catch
+    exporter drift, not to tolerate it.  Enforces the format rules the
+    exporter promises: names match ``[a-zA-Z_][a-zA-Z0-9_]*``, every
+    sample belongs to a previously declared ``# TYPE`` family, counter
+    samples end in ``_total``, histogram buckets are cumulative and
+    finish with ``le="+Inf"`` equal to ``_count``, and the exposition
+    ends with exactly one ``# EOF`` line.
+
+    Returns ``{family: {"type", "help", "samples": [(name, labels,
+    value)]}}`` where ``labels`` is a tuple of (label, value) pairs.
+    """
+    import re
+
+    families: Dict[str, Dict] = {}
+    lines = text.split("\n")
+    assert lines[-1] == "", "exposition must end with a newline"
+    lines = lines[:-1]
+    assert lines, "empty exposition"
+    assert lines[-1] == "# EOF", "exposition must end with '# EOF'"
+    body = lines[:-1]
+    assert "# EOF" not in body, "'# EOF' must appear exactly once, last"
+    current: Optional[str] = None
+    for line in body:
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert re.fullmatch(_OM_NAME, name), f"bad family name {name!r}"
+            assert kind in ("counter", "gauge", "histogram"), (
+                f"bad family type {kind!r}"
+            )
+            assert name not in families, f"duplicate family {name!r}"
+            families[name] = {"type": kind, "help": None, "samples": []}
+            current = name
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name == current, (
+                f"HELP for {name!r} outside its TYPE block"
+            )
+            assert help_text, "empty HELP text"
+            families[name]["help"] = help_text
+            continue
+        assert not line.startswith("#"), f"unknown comment line {line!r}"
+        match = re.fullmatch(
+            rf"({_OM_NAME})(?:\{{([^}}]*)\}})? (\S+)", line
+        )
+        assert match, f"unparseable sample line {line!r}"
+        name, labelblob, raw = match.groups()
+        assert current is not None, f"sample {name!r} before any # TYPE"
+        family = families[current]
+        assert name == current or name.startswith(current + "_"), (
+            f"sample {name!r} outside family {current!r}"
+        )
+        if family["type"] == "counter":
+            assert name == current + "_total", (
+                f"counter sample {name!r} must be {current!r}_total"
+            )
+        elif family["type"] == "gauge":
+            assert name == current, f"gauge sample {name!r} has a suffix"
+        else:
+            assert name in (
+                current + "_bucket", current + "_count", current + "_sum"
+            ), f"histogram sample {name!r} has unknown suffix"
+        labels = []
+        if labelblob:
+            for part in labelblob.split(","):
+                lmatch = re.fullmatch(rf'({_OM_NAME})="([^"]*)"', part)
+                assert lmatch, f"bad label {part!r} in {line!r}"
+                labels.append((lmatch.group(1), lmatch.group(2)))
+        assert len(dict(labels)) == len(labels), (
+            f"duplicate label names in {line!r}"
+        )
+        value = float(raw)
+        family["samples"].append((name, tuple(labels), value))
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        by_labels: Dict[Tuple, Dict] = {}
+        for sample, labels, value in family["samples"]:
+            rest = tuple(
+                (label, lv) for label, lv in labels if label != "le"
+            )
+            cell = by_labels.setdefault(rest, {"buckets": [], "scalars": {}})
+            if sample.endswith("_bucket"):
+                le = dict(labels).get("le")
+                assert le is not None, f"bucket of {name!r} missing le"
+                cell["buckets"].append((le, value))
+            else:
+                cell["scalars"][sample] = value
+        for rest, cell in by_labels.items():
+            assert cell["buckets"], f"histogram {name!r} cell has no buckets"
+            assert cell["buckets"][-1][0] == "+Inf", (
+                f"histogram {name!r} last bucket must be +Inf"
+            )
+            counts = [v for _, v in cell["buckets"]]
+            assert counts == sorted(counts), (
+                f"histogram {name!r} buckets not cumulative: {counts}"
+            )
+            bounds = [le for le, _ in cell["buckets"][:-1]]
+            assert bounds == sorted(bounds, key=float), (
+                f"histogram {name!r} bounds out of order: {bounds}"
+            )
+            count = cell["scalars"].get(name + "_count")
+            assert count is not None, f"histogram {name!r} missing _count"
+            assert name + "_sum" in cell["scalars"], (
+                f"histogram {name!r} missing _sum"
+            )
+            assert counts[-1] == count, (
+                f"histogram {name!r} +Inf bucket {counts[-1]} != "
+                f"count {count}"
+            )
+    return families

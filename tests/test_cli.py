@@ -180,3 +180,76 @@ def test_compare_report_keyed_by_algorithm(tmp_path):
     assert set(data) == {"alg2", "oracle"}
     for payload in data.values():
         assert payload["schema_version"] >= 1
+
+
+# ----------------------------------------------------------------------
+# metrics export / serve
+# ----------------------------------------------------------------------
+
+
+def test_run_metrics_writes_openmetrics(tmp_path):
+    from helpers import parse_openmetrics
+
+    path = tmp_path / "run.prom"
+    code, output = run_cli(
+        "run", "--topology", "line:4", "--until", "50",
+        "--algorithm", "alg2", "--metrics", str(path),
+    )
+    assert code == 0
+    assert str(path) in output
+    families = parse_openmetrics(path.read_text())
+    assert any(name.startswith("repro_alg2_") for name in families), (
+        "telemetry is implied by --metrics"
+    )
+
+
+def test_metrics_export_renders_saved_report(tmp_path):
+    from helpers import parse_openmetrics
+
+    report = tmp_path / "run.json"
+    run_cli("run", "--topology", "line:4", "--until", "50",
+            "--report", str(report))
+    code, output = run_cli("metrics", "export", str(report))
+    assert code == 0
+    parse_openmetrics(output)
+    prom = tmp_path / "run.prom"
+    code, output = run_cli(
+        "metrics", "export", str(report), "--out", str(prom)
+    )
+    assert code == 0
+    parse_openmetrics(prom.read_text())
+
+
+def test_metrics_export_missing_file_is_clean_error(tmp_path):
+    code, output = run_cli("metrics", "export", str(tmp_path / "absent.json"))
+    assert code == 2
+    assert "error" in output
+
+
+def test_metrics_serve_once_answers_a_scrape(tmp_path):
+    import threading
+    import urllib.request
+
+    from helpers import parse_openmetrics
+
+    report = tmp_path / "run.json"
+    run_cli("run", "--topology", "line:4", "--until", "50",
+            "--report", str(report))
+    # Port 0 never collides; the announced URL carries the real port.
+    out = io.StringIO()
+    codes = []
+    thread = threading.Thread(
+        target=lambda: codes.append(main(
+            ["metrics", "serve", str(report), "--port", "0", "--once"], out,
+        ))
+    )
+    thread.start()
+    for _ in range(200):
+        if out.getvalue():
+            break
+        thread.join(0.05)
+    url = out.getvalue().split()[-1].removesuffix("/metrics")
+    body = urllib.request.urlopen(url + "/metrics").read().decode()
+    thread.join()
+    assert codes == [0]
+    parse_openmetrics(body)

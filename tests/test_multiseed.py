@@ -108,3 +108,25 @@ def test_replicate_cache_hits_skip_report_writes(tmp_path):
     replicate(config, until=40.0, seeds=(5, 6), metrics=DEFAULT_METRICS,
               cache=cache, report_dir=out)
     assert not out.exists() or not list(out.glob("*.json"))
+
+
+def test_replicate_metrics_dir_writes_openmetrics_per_seed(tmp_path):
+    from helpers import parse_openmetrics
+
+    config = ScenarioConfig(
+        positions=line_positions(4, spacing=1.0),
+        radio_range=1.1,
+        algorithm="alg2",
+        telemetry=True,
+    )
+    out = tmp_path / "prom"
+    replicate(config, until=40.0, seeds=(1, 2), metrics=DEFAULT_METRICS,
+              metrics_dir=out, report_dir=tmp_path / "reports")
+    files = sorted(out.glob("*.prom"))
+    assert len(files) == 2
+    for path in files:
+        families = parse_openmetrics(path.read_text())
+        assert any(name.startswith("repro_alg2_") for name in families)
+    # Snapshot stems pair up with the report stems for the same seed.
+    report_stems = {p.stem for p in (tmp_path / "reports").glob("*.json")}
+    assert {p.stem for p in files} == report_stems

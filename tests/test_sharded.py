@@ -401,3 +401,49 @@ def test_cli_run_accepts_shards(capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "cs entries" in out.lower() or "alg2" in out
+
+
+def test_multi_shard_probes_merge_with_honest_extrema():
+    """Coordinator probes are an instrument-aware merge of the shard
+    registries: counters sum, histogram min/max survive (a naive
+    numeric merge would sum them), and the per-shard snapshots are
+    preserved under resources for the shard-labeled OpenMetrics view.
+    """
+    result = run_sharded(
+        _line_config(n=12, telemetry=True), until=60.0,
+        num_shards=2, workers=1,
+    )
+    shard_probes = result.resources["shard_probes"]
+    assert set(shard_probes) == {"0", "1"}
+    merged = result.probes
+    name = "fork.grant_latency"
+    per_shard = [s[name] for s in shard_probes.values() if name in s]
+    with_samples = [c for c in per_shard if c["count"]]
+    assert with_samples, "expected grant-latency samples on some shard"
+    assert merged[name]["count"] == sum(c["count"] for c in with_samples)
+    assert merged[name]["min"] == min(c["min"] for c in with_samples)
+    assert merged[name]["max"] == max(c["max"] for c in with_samples)
+    counter = "alg2.notifications"
+    assert result.probes[counter]["value"] == sum(
+        s[counter]["value"] for s in shard_probes.values()
+        if counter in s
+    )
+
+
+def test_multi_shard_merged_probes_worker_independent():
+    one = run_sharded(
+        _line_config(n=12, telemetry=True), until=60.0,
+        num_shards=2, workers=1,
+    )
+    two = run_sharded(
+        _line_config(n=12, telemetry=True), until=60.0,
+        num_shards=2, workers=2,
+    )
+    assert one.probes == two.probes
+    assert one.resources["shard_probes"] == two.resources["shard_probes"]
+
+
+def test_telemetry_off_sharded_run_has_no_probe_plane():
+    result = run_sharded(_line_config(), until=30.0, num_shards=2, workers=1)
+    assert result.probes == {}
+    assert "shard_probes" not in result.resources
