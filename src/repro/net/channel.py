@@ -358,8 +358,9 @@ class ChannelLayer:
         only when something observable changed:
 
         * the run-ahead *barrier* (the engine's next live event key) is
-          recomputed only when the heap's length changed — deliveries
-          that schedule nothing reuse it;
+          recomputed only when the engine's push marker moved (a push,
+          timer arm, or wheel release may have introduced an earlier
+          key) — deliveries that schedule nothing reuse it;
         * link existence and incarnation are snapshotted once and
           refreshed only when :meth:`link_down` ran during a delivery
           (tracked by the mutation counter);
@@ -377,13 +378,12 @@ class ChannelLayer:
         delivered_by_kind = stats.delivered_by_kind
         deliver = self._deliver
         trace = self._trace
-        heap = sim._heap
         deadline = sim._deadline  # constant for the duration of run()
         link_id = self._link_id(src, dst)
         link_ok = self._topology.has_link(src, dst)
         current_inc = self._incarnation.get(link_id, 0)
         mutations = self._mutations
-        heap_len = -1  # force the first barrier computation
+        marker = -1  # force the first barrier computation
         barrier = None
         while queue:
             arrival, entry_key, message, incarnation = queue[0]
@@ -394,9 +394,11 @@ class ChannelLayer:
                     break
                 if deadline is not None and arrival > deadline:
                     break
-                if len(heap) != heap_len:
+                if sim._push_marker != marker:
                     barrier = sim.next_live_key()
-                    heap_len = len(heap)  # next_live_key pops dead heads
+                    # Snapshot after: next_live_key can release wheel
+                    # timers into the queue, bumping the marker itself.
+                    marker = sim._push_marker
                 if barrier is not None and barrier < entry_key:
                     break
                 sim._now = arrival

@@ -49,6 +49,17 @@ The probe catalogue (all instrument names live here, nowhere else):
                                             run
 ``explore.violations``          counter     invariant violations, keyed
                                             by monitor name
+``engine.sched_ops``            counter     scheduler queue operations,
+                                            keyed by op kind (enqueues /
+                                            dequeues / cancelled /
+                                            compactions / rung_spills /
+                                            wheel_arms / wheel_cascades /
+                                            cancelled_in_place); recorded
+                                            at run end by the runtime
+                                            from ``Simulator.stats()``,
+                                            discipline-dependent by
+                                            design (see
+                                            docs/performance.md)
 ==============================  ==========  =================================
 """
 

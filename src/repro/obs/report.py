@@ -54,7 +54,10 @@ class RunReport:
     nodes: Dict[str, Any] = field(default_factory=dict)
     #: ``ChannelStats.snapshot()``: totals and per-kind breakdowns.
     channel: Dict[str, Any] = field(default_factory=dict)
-    #: Engine statistics: executed_events, heap_high_water, compactions...
+    #: Engine statistics: executed_events, pending_events, now (the
+    #: wall-clock and scheduler-discipline counters are stripped so
+    #: reports stay deterministic and discipline-independent; queue ops
+    #: surface through the ``engine.sched_ops`` probe instead).
     engine: Dict[str, Any] = field(default_factory=dict)
     #: ``MetricRegistry.snapshot()`` — empty when telemetry was off.
     probes: Dict[str, Any] = field(default_factory=dict)
@@ -159,7 +162,7 @@ class RunReport:
         )
         lines.append(
             f"engine: {self.engine.get('executed_events', 0)} events, "
-            f"heap high-water {self.engine.get('heap_high_water', 0)}"
+            f"{self.engine.get('pending_events', 0)} pending at end"
         )
         lines.append(
             "starved: "

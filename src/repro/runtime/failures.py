@@ -53,7 +53,9 @@ class CrashInjector:
         """Crash ``node_id`` at the given virtual time."""
         event = CrashEvent(time, node_id)
         self.crashes.append(event)
-        handle = self._sim.schedule_at(time, self._crash, node_id)
+        # A crash is a retimeable deadline — exactly the churn profile
+        # the timer wheel exists for (apply_control cancels + reissues).
+        handle = self._sim.schedule_timer_at(time, self._crash, node_id)
         self._events.append((handle, handle.generation))
 
     def schedule_all(self, plan: List[Tuple[float, int]]) -> None:
@@ -88,7 +90,7 @@ class CrashInjector:
                 continue
             handle.cancel()
             self.crashes[index] = CrashEvent(retimed, planned.node_id)
-            fresh = self._sim.schedule_at(
+            fresh = self._sim.schedule_timer_at(
                 retimed, self._crash, planned.node_id
             )
             self._events[index] = (fresh, fresh.generation)

@@ -97,6 +97,11 @@ class ScenarioConfig:
     #: order, bit-identical reports; ``pooling=False`` exists for
     #: equivalence testing and for isolating use-after-release reports.
     pooling: bool = True
+    #: Engine pending-set discipline: ``"ladder"`` (adaptive ladder
+    #: queue + timer wheel, the O(1) default) or ``"heap"`` (the binary
+    #: heap kept as the equivalence oracle).  Same events, same order,
+    #: bit-identical reports either way.
+    scheduler: str = "ladder"
     #: Optional pre-assigned legal coloring (alg1 variants / choy-singh).
     initial_colors: Optional[Dict[int, int]] = None
     #: Override the delta the Linial procedure is built for (mobile runs
@@ -121,6 +126,11 @@ class ScenarioConfig:
         if self.watchdog is not None and self.watchdog <= 0:
             raise ConfigurationError(
                 f"watchdog threshold must be > 0: {self.watchdog}"
+            )
+        if self.scheduler not in ("ladder", "heap"):
+            raise ConfigurationError(
+                f"unknown scheduler discipline: {self.scheduler!r} "
+                "(expected 'ladder' or 'heap')"
             )
 
 
@@ -184,12 +194,18 @@ class SimulationResult:
                 "seed": self.config.seed,
                 "nodes": len(self.config.positions),
             }
-        # Wall-clock throughput keys are non-deterministic; the report's
-        # engine block keeps only the virtual-time counters so
-        # fixed-seed reports stay bit-identical.
+        # Wall-clock throughput keys are non-deterministic, and the
+        # scheduler ops counters differ between (bit-identical) queue
+        # disciplines by design; the report's engine block keeps only
+        # the virtual-time counters so fixed-seed reports stay
+        # bit-identical across disciplines too.  Queue behaviour is
+        # surfaced via the ``engine.sched_ops`` probe when telemetry is
+        # on (a probe is discipline-scoped observability, not part of
+        # the protocol-level outcome contract).
         engine = dict(self.engine)
         engine.pop("wall_time_s", None)
         engine.pop("events_per_sec", None)
+        engine.pop("scheduler", None)
         profiling = getattr(self.config, "profile", False)
         return RunReport(
             config=config_dict,
@@ -311,7 +327,13 @@ class Simulation:
     ) -> None:
         self.config = config
         self.shard = shard
-        self.sim = Simulator(pooling=config.pooling)
+        self.sim = Simulator(
+            pooling=config.pooling, scheduler=config.scheduler
+        )
+        # Already-recorded scheduler ops, per counter key: run() records
+        # only the delta into the live registry so repeated run() calls
+        # (paused runs, sharded windows) never double-count.
+        self._sched_ops_recorded: Dict[str, int] = {}
         self.rng = RandomSource(config.seed)
         self.trace = TraceLog(enabled=config.trace)
         self.bounds = config.bounds
@@ -511,10 +533,16 @@ class Simulation:
         if self.failures.crashes:
             locality = self.locality_report().to_dict()
         engine_stats = self.sim.stats()
+        if self.registry is not None:
+            self._record_sched_ops(engine_stats["scheduler"])
         resources = {
             "wall_time_s": engine_stats["wall_time_s"],
             "events_per_sec": engine_stats["events_per_sec"],
             "peak_rss_kb": peak_rss_kb(),
+            # Operational view of the queue discipline; lives here (and
+            # in the sched_ops probe) rather than in the deterministic
+            # engine block because it differs between disciplines.
+            "scheduler": dict(engine_stats["scheduler"]),
         }
         return SimulationResult(
             config=self.config,
@@ -540,6 +568,31 @@ class Simulation:
             ),
             resources=resources,
         )
+
+    def _record_sched_ops(self, sched: Dict[str, Any]) -> None:
+        """Mirror the engine's scheduler counters into the registry.
+
+        Recorded as deltas against what earlier ``run()`` calls already
+        recorded, so paused/windowed runs accumulate exactly once.  The
+        counter family exists (at zero) even for an idle run, keeping
+        the probe snapshot schema stable.
+        """
+        assert self.registry is not None
+        counter = self.registry.counter(
+            "engine.sched_ops",
+            "scheduler queue operations by kind (discipline-dependent)",
+        )
+        recorded = self._sched_ops_recorded
+        for key in (
+            "enqueues", "dequeues", "cancelled", "compactions",
+            "rung_spills", "wheel_arms", "wheel_cascades",
+            "cancelled_in_place",
+        ):
+            value = sched[key]
+            delta = value - recorded.get(key, 0)
+            if delta:
+                counter.inc(delta, key=key)
+                recorded[key] = value
 
     # ------------------------------------------------------------------
     def locality_report(self, patience: Optional[float] = None) -> LocalityReport:

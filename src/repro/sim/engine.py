@@ -1,10 +1,10 @@
 """The discrete-event simulator.
 
-A :class:`Simulator` owns a heap of :class:`ScheduledEvent` objects and
-executes them in ``(time, priority, insertion order)`` order.  Everything
-else in the library — message delivery, mobility steps, application
-hunger, crash injection, monitoring — is expressed as events scheduled on
-one shared simulator instance.
+A :class:`Simulator` owns a pending set of :class:`ScheduledEvent`
+objects and executes them in ``(time, priority, insertion order)``
+order.  Everything else in the library — message delivery, mobility
+steps, application hunger, crash injection, monitoring — is expressed
+as events scheduled on one shared simulator instance.
 
 Design notes
 ------------
@@ -17,14 +17,25 @@ Design notes
 * **Listeners.**  Observers (the safety monitor, metric collectors) can
   register post-event listeners; they fire after each executed event with
   the engine as argument.  Using listeners rather than wrapping every
-  callback keeps protocol code free of instrumentation.
-* **Hot loop.**  Cancellation is lazy (cancelled shells stay in the
-  heap), but the engine keeps a live count of them: ``pending_events``
-  is O(1), and when shells outnumber live events the heap is compacted
+  callback keeps protocol code free of instrumentation.  The listener
+  list is snapshotted once per :meth:`run` call.
+* **Scheduler disciplines.**  The pending set is an adaptive ladder
+  queue by default (:class:`repro.sim.schedqueue.LadderQueue` — O(1)
+  amortized enqueue/dequeue) with a hierarchical timer wheel
+  (:class:`repro.sim.schedqueue.TimerWheel`) fronting restartable
+  timers scheduled through :meth:`schedule_timer`; cancelling a
+  wheel-resident timer is a flag flip that never touches the ladder.
+  ``Simulator(scheduler="heap")`` selects the classic binary heap
+  instead, which is kept as the equivalence oracle: both disciplines
+  compare the same precomputed ``(time, priority, seq)`` keys and
+  bucket routing is monotone in time (see :mod:`repro.sim.schedqueue`),
+  so execution order, timestamps, and every deterministic counter are
+  bit-identical either way.
+* **Hot loop.**  Cancellation is lazy (cancelled shells stay resident),
+  but the engine keeps a live count of them: ``pending_events`` is
+  O(1), and when shells outnumber live events the pending set is swept
   in place, bounding both memory and pop-side skip work.  Listener
   dispatch is skipped entirely when no listeners are registered.
-  Compaction and the precomputed event sort key change no observable
-  ordering — execution order stays exactly (time, priority, seq).
 * **Profiling.**  :meth:`attach_profiler` installs an optional
   wall-clock profiler (per-callback-category totals, events/sec
   samples — see :mod:`repro.obs.profiler`).  The handle is hoisted
@@ -37,10 +48,12 @@ Design notes
   and at run time keeps consuming items while each item's
   ``(time, priority, seq)`` key precedes :meth:`next_live_key` and the
   active deadline, advancing the clock itself via
-  :meth:`advance_clock`.  Execution *order* and timestamps are exactly
-  what per-item scheduling would produce; only the number of heap
-  operations (and hence ``executed_events`` and listener firings)
-  shrinks.
+  :meth:`advance_clock`.  Such callbacks watch :attr:`push_marker` —
+  bumped on every schedule, timer arm, and wheel release — to learn
+  when a cached :meth:`next_live_key` barrier may have moved earlier.
+  Execution *order* and timestamps are exactly what per-item
+  scheduling would produce; only the number of queue operations (and
+  hence ``executed_events`` and listener firings) shrinks.
 * **Controlled tie-breaks.**  Events sharing a ``(time, priority)``
   pair normally run in insertion order — an arbitrary but fixed
   serialization of logically concurrent work.  A *choice controller*
@@ -50,21 +63,21 @@ Design notes
   tickets, so the controller is consulted again as the group shrinks
   and can realize every permutation of the tie group.  Controllers see
   only genuinely concurrent events — they can never reorder across
-  distinct timestamps or priority classes.
+  distinct timestamps or priority classes.  Wheel-resident timers due
+  at the head's timestamp are released into the queue *before* the tie
+  group is collected, so controllers see them too.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import math
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import EventPriority, ScheduledEvent
-
-#: Never bother compacting heaps smaller than this.
-_COMPACT_MIN = 64
+from repro.sim.schedqueue import HeapQueue, LadderQueue, TimerWheel
 
 #: Free-list cap: shells beyond this are dropped to the garbage
 #: collector instead of retained.  Large enough to absorb the release
@@ -79,26 +92,43 @@ class Simulator:
     Args:
         pooling: recycle :class:`ScheduledEvent` shells through a free
             list (acquire on schedule, release when an event has fired
-            or its cancelled shell leaves the heap).  Event execution
-            order, timestamps and every counter are identical either
-            way — the flag exists for equivalence testing and for
-            callers that keep event handles beyond their lifetime (see
-            the handle contract in :mod:`repro.sim.events`).
+            or its cancelled shell leaves the pending set).  Event
+            execution order, timestamps and every counter are identical
+            either way — the flag exists for equivalence testing and
+            for callers that keep event handles beyond their lifetime
+            (see the handle contract in :mod:`repro.sim.events`).
+        scheduler: pending-set discipline — ``"ladder"`` (default; the
+            adaptive ladder queue plus timer wheel) or ``"heap"`` (the
+            binary-heap oracle).  Bit-identical execution either way.
     """
 
-    def __init__(self, pooling: bool = True) -> None:
+    def __init__(self, pooling: bool = True, scheduler: str = "ladder") -> None:
         self._now: float = 0.0
         # Event free list (None when pooling is off — the established
         # None-when-off idiom, so the hot paths test one pointer).
         self._free: Optional[List[ScheduledEvent]] = [] if pooling else None
-        self._heap: List[ScheduledEvent] = []
+        if scheduler == "ladder":
+            self._queue = LadderQueue(self._recycle)
+            self._wheel: Optional[TimerWheel] = TimerWheel(self._recycle)
+        elif scheduler == "heap":
+            self._queue = HeapQueue(self._recycle)
+            self._wheel = None
+        else:
+            raise SimulationError(
+                f"unknown scheduler discipline: {scheduler!r} "
+                "(expected 'ladder' or 'heap')"
+            )
         self._seq = itertools.count()
+        # Bumped whenever the set of pending keys may have gained an
+        # earlier entry (push, timer arm, wheel release).  Fused-batch
+        # callbacks compare it to decide when a cached next_live_key
+        # barrier must be recomputed; cancellations leave it alone —
+        # a stale-early barrier is conservative, a stale-late one
+        # would reorder.
+        self._push_marker = 0
         self._running = False
         self._stopped = False
         self._executed_events = 0
-        self._cancelled_in_heap = 0
-        self._heap_high_water = 0
-        self._compactions = 0
         self._deadline: Optional[float] = None
         # Standing cap on how far run() may advance, independent of the
         # per-call ``until``.  The sharded engine sets this to the next
@@ -135,22 +165,34 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still scheduled and not cancelled (O(1))."""
-        return len(self._heap) - self._cancelled_in_heap
+        wheel = self._wheel
+        return self._queue.live + (wheel.live if wheel is not None else 0)
 
     @property
     def heap_size(self) -> int:
-        """Current heap length, cancelled shells included."""
-        return len(self._heap)
+        """Resident entries, cancelled shells and wheel timers included."""
+        wheel = self._wheel
+        return self._queue.size + (wheel.resident if wheel is not None else 0)
 
     @property
     def heap_high_water(self) -> int:
-        """Largest heap length ever reached (shells included)."""
-        return self._heap_high_water
+        """Largest main-queue length ever reached (shells included).
+
+        Wheel-resident timers do not count until released — that is the
+        point of the wheel — so under the ladder discipline this tracks
+        pressure on the ladder alone.
+        """
+        return self._queue.high_water
 
     @property
     def compactions(self) -> int:
-        """How many times the heap was compacted in place."""
-        return self._compactions
+        """How many times the pending set was compacted in place."""
+        return self._queue.compactions
+
+    @property
+    def push_marker(self) -> int:
+        """Monotone counter of pushes/arms/releases (see class docs)."""
+        return self._push_marker
 
     @property
     def deadline(self) -> Optional[float]:
@@ -167,15 +209,33 @@ class Simulator:
 
         ``wall_time_s`` and ``events_per_sec`` are wall-clock derived
         and therefore non-deterministic; deterministic consumers (the
-        canonical RunReport) strip them.
+        canonical RunReport) strip them.  The ``scheduler`` sub-dict
+        holds the queue-discipline ops counters — deterministic for a
+        given discipline but *different between disciplines* (that is
+        their job), so report-level consumers strip it too and surface
+        it through the ``engine.sched_ops`` probe instead.
         """
         wall = self._wall_time_s
+        queue = self._queue
+        wheel = self._wheel
         return {
             "executed_events": self._executed_events,
             "pending_events": self.pending_events,
-            "heap_high_water": self._heap_high_water,
-            "compactions": self._compactions,
             "now": self._now,
+            "scheduler": {
+                "discipline": queue.discipline,
+                "enqueues": queue.enqueues,
+                "dequeues": queue.dequeues,
+                "cancelled": queue.cancels,
+                "high_water": queue.high_water,
+                "compactions": queue.compactions,
+                "rung_spills": queue.rung_spills,
+                "wheel_arms": wheel.arms if wheel is not None else 0,
+                "wheel_cascades": wheel.cascades if wheel is not None else 0,
+                "cancelled_in_place": (
+                    wheel.cancelled_in_place if wheel is not None else 0
+                ),
+            },
             "wall_time_s": wall,
             "events_per_sec": (self._executed_events / wall) if wall > 0 else 0.0,
         }
@@ -222,19 +282,59 @@ class Simulator:
             )
         if seq is None:
             seq = next(self._seq)
-        free = self._free
-        if free:
-            event = free.pop()
-            event._reinit(time, priority, seq, callback, tuple(args), self)
-        else:
-            event = ScheduledEvent(
-                time, priority, seq, callback, tuple(args), engine=self
-            )
-        heap = self._heap
-        heapq.heappush(heap, event)
-        if len(heap) > self._heap_high_water:
-            self._heap_high_water = len(heap)
+        event = self._acquire(time, priority, seq, callback, tuple(args), self)
+        self._queue.push(event)
+        self._push_marker += 1
         return event
+
+    def schedule_timer(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: EventPriority = EventPriority.NORMAL,
+    ) -> ScheduledEvent:
+        """Schedule a high-churn (likely-to-be-cancelled) timeout.
+
+        Semantically identical to :meth:`schedule` — same ordering
+        ticket, same handle contract — but under the ladder discipline
+        the event may be parked in the timer wheel, where a later
+        :meth:`ScheduledEvent.cancel` is a pure flag flip that never
+        touches the main queue.  Protocol timeouts and crash schedules
+        (overwhelmingly cancelled or retimed before firing) should come
+        through here; one-shot work should use :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        return self.schedule_timer_at(
+            self._now + delay, callback, *args, priority=priority
+        )
+
+    def schedule_timer_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: EventPriority = EventPriority.NORMAL,
+        seq: Optional[int] = None,
+    ) -> ScheduledEvent:
+        """Absolute-time form of :meth:`schedule_timer`.
+
+        Falls back to :meth:`schedule_at` whenever the wheel cannot
+        host the time (heap discipline, zero delay, out of range), so
+        callers never need to care where the event actually lives.
+        Exactly one ordering ticket is drawn either way, which is what
+        keeps the two disciplines bit-identical.
+        """
+        wheel = self._wheel
+        if wheel is not None and wheel.accepts(time, self._now):
+            if seq is None:
+                seq = next(self._seq)
+            event = self._acquire(time, priority, seq, callback, tuple(args), wheel)
+            wheel.arm(event)
+            self._push_marker += 1
+            return event
+        return self.schedule_at(time, callback, *args, priority=priority, seq=seq)
 
     def claim_seq(self) -> int:
         """Reserve the next ordering ticket without scheduling anything.
@@ -248,19 +348,31 @@ class Simulator:
     def next_live_key(self) -> Optional[Tuple[float, int, int]]:
         """Sort key of the earliest non-cancelled scheduled event.
 
-        Pops cancelled shells off the heap top as a side effect (they
-        would be skipped by :meth:`run` anyway).  Returns ``None`` when
-        nothing live remains.
+        Pops cancelled shells off the queue head as a side effect (they
+        would be skipped by :meth:`run` anyway) and releases any
+        wheel-resident timers due at or before the head so the returned
+        key is a true global minimum.  Returns ``None`` when nothing
+        live remains anywhere.
         """
-        heap = self._heap
-        while heap:
-            event = heap[0]
-            if not event.cancelled:
-                return event.sort_key()
-            heapq.heappop(heap)
-            self._cancelled_in_heap -= 1
-            self._recycle(event)
-        return None
+        queue = self._queue
+        wheel = self._wheel
+        if wheel is not None and wheel.live:
+            inject = self._wheel_inject
+            while True:
+                head = queue.peek()
+                if head is None:
+                    if wheel.live:
+                        wheel.release_until_live(math.inf, inject)
+                        continue
+                    return None
+                if wheel.live == 0 or wheel.next_time > head.time:
+                    return head.sort_key()
+                # One release pass empties the wheel of everything at or
+                # before the head; whatever peeks next is the global min.
+                wheel.release_through(head.time, inject)
+                return queue.peek().sort_key()
+        head = queue.peek()
+        return None if head is None else head.sort_key()
 
     def advance_clock(self, time: float) -> None:
         """Advance ``now`` from inside a fused event batch.
@@ -367,7 +479,7 @@ class Simulator:
 
         Construction-time work that only *schedules* events (the
         workload's per-node RNG seeding, for example) can be deferred
-        here: the hook fires before the first event pops, so the heap
+        here: the hook fires before the first event pops, so the queue
         holds exactly the same event set when execution starts and
         every engine counter — executed events, high water,
         compactions — matches eager scheduling.  Only the insertion
@@ -386,33 +498,50 @@ class Simulator:
         self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
-    # Cancellation bookkeeping (called by ScheduledEvent.cancel)
+    # Shell lifecycle (shared by both disciplines and the wheel)
     # ------------------------------------------------------------------
+    def _acquire(
+        self,
+        time: float,
+        priority: EventPriority,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        engine,
+    ) -> ScheduledEvent:
+        """Pool-aware shell acquisition (the single construction path)."""
+        free = self._free
+        if free:
+            event = free.pop()
+            event._reinit(time, priority, seq, callback, args, engine)
+            return event
+        return ScheduledEvent(time, priority, seq, callback, args, engine=engine)
+
     def _recycle(self, event: ScheduledEvent) -> None:
-        """Return a dead shell to the free list (no-op when pooling is off)."""
+        """Return a dead shell to the free list (no-op when pooling is off).
+
+        The one pool-cap-aware release path: the run loop, the queue
+        disciplines, and the timer wheel all retire shells through
+        here, so the cap check can't drift between call sites.
+        """
         free = self._free
         if free is not None and len(free) < _POOL_MAX:
             event._release()
             free.append(event)
 
     def _note_cancelled(self) -> None:
-        self._cancelled_in_heap += 1
-        heap = self._heap
-        if (
-            self._cancelled_in_heap > (len(heap) >> 1)
-            and len(heap) >= _COMPACT_MIN
-        ):
-            # In-place rebuild (slice assignment) so a run() loop holding
-            # a reference to the heap list keeps seeing the live heap.
-            if self._free is not None:
-                recycle = self._recycle
-                for ev in heap:
-                    if ev.cancelled:
-                        recycle(ev)
-            heap[:] = [ev for ev in heap if not ev.cancelled]
-            heapq.heapify(heap)
-            self._cancelled_in_heap = 0
-            self._compactions += 1
+        """Cancellation bookkeeping (called by ScheduledEvent.cancel)."""
+        self._queue.note_cancelled()
+
+    def _wheel_inject(self, event: ScheduledEvent) -> None:
+        """Move a released wheel timer into the main queue.
+
+        The event re-homes to the engine so a subsequent cancel lands
+        in the queue's lazy-cancellation accounting, not the wheel's.
+        """
+        event.engine = self
+        self._queue.push(event)
+        self._push_marker += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -451,37 +580,52 @@ class Simulator:
         self._deadline = until
         wall_started = perf_counter()
         executed_this_call = 0
-        heap = self._heap
-        heappop = heapq.heappop
+        queue = self._queue
+        peek = queue.peek
+        take = queue.take
+        recycle = self._recycle
         profiler = self._profiler
         controller = self._choice_controller
-        free = self._free
-        pool_max = _POOL_MAX
+        wheel = self._wheel
+        inject = self._wheel_inject
+        until_f = math.inf if until is None else until
+        listeners = tuple(self._listeners)
         try:
-            while heap:
+            while True:
                 if self._stopped:
                     break
                 if max_events is not None and executed_this_call >= max_events:
                     break
-                event = heap[0]
-                if event.cancelled:
-                    heappop(heap)
-                    self._cancelled_in_heap -= 1
-                    if free is not None and len(free) < pool_max:
-                        event._release()
-                        free.append(event)
-                    continue
-                if until is not None and event.time > until:
+                event = peek()
+                if event is None:
+                    if wheel is not None and wheel.live:
+                        if wheel.release_until_live(until_f, inject):
+                            continue
+                    # Queue drained; advance to the deadline if given.
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                t = event.time
+                if wheel is not None and wheel.next_time <= t:
+                    # Release everything due at or before the head (or
+                    # the deadline, whichever is earlier).  One pass
+                    # suffices: whatever remains wheel-resident is
+                    # strictly later than the post-release head, so we
+                    # can pop without re-checking the wheel.
+                    wheel.release_through(t if t <= until_f else until_f, inject)
+                    event = peek()
+                    t = event.time
+                if t > until_f:
                     self._now = until
                     break
                 if controller is None:
-                    heappop(heap)
+                    take()
                 else:
                     event = self._pop_with_controller(controller)
-                self._now = event.time
+                self._now = t
                 # Mark fired up front: a cancel() of the in-flight event
                 # from inside its own callback must stay a no-op and must
-                # not disturb the cancelled-in-heap count.
+                # not disturb the lazy-cancellation count.
                 event.cancelled = True
                 if profiler is None:
                     event.callback(*event.args)
@@ -493,18 +637,12 @@ class Simulator:
                     )
                 self._executed_events += 1
                 executed_this_call += 1
-                if self._listeners:
-                    for listener in self._listeners:
+                if listeners:
+                    for listener in listeners:
                         listener(self)
                 # The callback has run and any holder following the
                 # handle contract has dropped its reference — recycle.
-                if free is not None and len(free) < pool_max:
-                    event._release()
-                    free.append(event)
-            else:
-                # Queue drained; advance to the deadline if one was given.
-                if until is not None and until > self._now:
-                    self._now = until
+                recycle(event)
         finally:
             self._running = False
             self._deadline = None
@@ -516,28 +654,27 @@ class Simulator:
 
         Collects every live event tied with the head on ``(time,
         priority)``; with two or more, the controller picks which runs
-        now and the rest go back on the heap with their original
+        now and the rest go back on the queue with their original
         tickets (so a later consultation sees the same relative order).
-        The head is known live and in-bounds — :meth:`run` checked.
+        The head is known live and in-bounds — :meth:`run` checked —
+        and any wheel timers due at its timestamp were already
+        released.  Tie comparison uses the precomputed ``_key`` fields,
+        so no per-head IntEnum conversion happens in the loop.
         """
-        heap = self._heap
-        heappop = heapq.heappop
-        first = heappop(heap)
-        if not heap:
-            return first
+        queue = self._queue
+        peek = queue.peek
+        take = queue.take
+        first = take()
+        time, priority, _ = first._key
         group = [first]
-        time = first.time
-        priority = int(first.priority)
-        while heap:
-            head = heap[0]
-            if head.cancelled:
-                heappop(heap)
-                self._cancelled_in_heap -= 1
-                self._recycle(head)
-                continue
-            if head.time != time or int(head.priority) != priority:
+        while True:
+            head = peek()
+            if head is None:
                 break
-            group.append(heappop(heap))
+            key = head._key
+            if key[0] != time or key[1] != priority:
+                break
+            group.append(take())
         if len(group) == 1:
             return first
         index = controller.tie_break(group)
@@ -546,9 +683,10 @@ class Simulator:
                 f"tie_break returned {index!r} for a group of {len(group)}"
             )
         chosen = group.pop(index)
-        heappush = heapq.heappush
+        push = queue.push
         for event in group:
-            heappush(heap, event)
+            push(event)
+        self._push_marker += 1
         return chosen
 
     def run_until_quiet(self, max_events: int = 10_000_000) -> float:

@@ -7,9 +7,10 @@ protocol handlers scheduled for that instant have run.
 
 :class:`ScheduledEvent` is the single hottest allocation in the library
 (one per message hop, timer and mobility step), so it is slotted and
-carries a precomputed ``(time, priority, seq)`` key — heap comparisons
-reduce to one C-level tuple compare instead of attribute lookups and
-enum coercion per ``__lt__`` call.
+carries a precomputed ``(time, priority, seq)`` key — ordering
+comparisons reduce to one C-level tuple compare (or one key-attribute
+fetch in the ladder queue's bucket sorts) instead of attribute lookups
+and enum coercion per ``__lt__`` call.
 
 Pooling
 -------
@@ -27,6 +28,19 @@ revalidate a handle later (e.g. the crash injector's retime path) store
 event is gone".  Under ``__debug__`` a released shell is poisoned: its
 ``callback`` is replaced by a sentinel and ``cancel()`` on it raises,
 catching use-after-release at the point of misuse.
+
+Scheduler interplay
+-------------------
+
+The :attr:`engine` pointer is duck-typed: it is whatever structure
+currently owns the pending shell — the simulator itself for main-queue
+events, or a :class:`repro.sim.schedqueue.TimerWheel` for wheel-parked
+timers (which re-home to the simulator when their slot is released).
+``cancel()`` only requires a ``_note_cancelled()`` hook, so the wheel
+can account a cancellation as an in-place flag flip while the queue
+disciplines track lazy-deleted shells for compaction.  Either way the
+shell funnels back to the same pool through the engine's single
+recycle path once it has fired or its dead shell leaves its container.
 """
 
 from __future__ import annotations
@@ -78,8 +92,9 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
-        #: Owning simulator, notified on cancel so it can keep a live
-        #: count of dead heap entries (see Simulator.pending_events).
+        #: Owning container (simulator or timer wheel), notified on
+        #: cancel so it can keep a live count of dead pending entries
+        #: (see Simulator.pending_events).
         self.engine = engine
         #: Recycling stamp: bumped each time a pooling engine releases
         #: this shell back to its free list.  Holders that revalidate a
@@ -148,7 +163,7 @@ class ScheduledEvent:
         return not self.cancelled
 
     def sort_key(self) -> Tuple[float, int, int]:
-        """Total order used by the engine's heap."""
+        """Total order used by the engine's pending set."""
         return self._key
 
     def __lt__(self, other: "ScheduledEvent") -> bool:

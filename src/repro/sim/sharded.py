@@ -632,9 +632,19 @@ class ShardedEngine:
             "lookahead": self.lookahead,
             "executed_events": 0,
             "pending_events": 0,
-            "heap_high_water": 0,
-            "compactions": 0,
             "now": 0.0,
+            "scheduler": {
+                "discipline": "",
+                "enqueues": 0,
+                "dequeues": 0,
+                "cancelled": 0,
+                "high_water": 0,
+                "compactions": 0,
+                "rung_spills": 0,
+                "wheel_arms": 0,
+                "wheel_cascades": 0,
+                "cancelled_in_place": 0,
+            },
             "per_shard": [],
         }
         duration = 0.0
@@ -656,18 +666,29 @@ class ShardedEngine:
             shard_engine = payload["engine"]
             engine["executed_events"] += shard_engine["executed_events"]
             engine["pending_events"] += shard_engine["pending_events"]
-            engine["heap_high_water"] = max(
-                engine["heap_high_water"], shard_engine["heap_high_water"]
-            )
-            engine["compactions"] += shard_engine["compactions"]
             engine["now"] = max(engine["now"], shard_engine["now"])
+            shard_sched = shard_engine.get("scheduler", {})
+            sched = engine["scheduler"]
+            if not sched["discipline"]:
+                sched["discipline"] = shard_sched.get("discipline", "")
+            sched["high_water"] = max(
+                sched["high_water"], shard_sched.get("high_water", 0)
+            )
+            for key in (
+                "enqueues", "dequeues", "cancelled", "compactions",
+                "rung_spills", "wheel_arms", "wheel_cascades",
+                "cancelled_in_place",
+            ):
+                sched[key] += shard_sched.get(key, 0)
             # Per-shard wall-clock rates depend on worker grouping and
-            # host load; keep the per-shard view purely virtual so the
-            # merged report is identical for every worker count.
+            # host load; keep the per-shard view purely virtual.  The
+            # scheduler ops counters are stripped with them: they are
+            # discipline-dependent by design, and the merged report
+            # must be identical for every discipline and worker count.
             engine["per_shard"].append({
                 "shard": shard_id,
                 **{k: v for k, v in shard_engine.items()
-                   if k not in ("wall_time_s", "events_per_sec")},
+                   if k not in ("wall_time_s", "events_per_sec", "scheduler")},
             })
             duration = max(duration, payload["duration"])
             if payload["violation"] is not None:

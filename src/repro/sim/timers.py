@@ -43,9 +43,15 @@ class Timer:
         return None
 
     def start(self, delay: float) -> None:
-        """Arm the timer; restarts (and supersedes) any pending deadline."""
+        """Arm the timer; restarts (and supersedes) any pending deadline.
+
+        Goes through :meth:`Simulator.schedule_timer`, so under the
+        ladder discipline the deadline usually parks in the timer wheel
+        and the (overwhelmingly common) restart-before-fire pattern
+        never touches the main queue.
+        """
         self.cancel()
-        self._event = self._sim.schedule(
+        self._event = self._sim.schedule_timer(
             delay, self._fire, priority=self._priority
         )
 

@@ -1,0 +1,73 @@
+"""Full-scenario bit-identity: ladder scheduler vs the heap oracle.
+
+Fixed-seed runs across the exploration scenario families must produce
+byte-for-byte identical RunReports under both scheduler disciplines.
+This is the end-to-end complement to the structure-level property tests
+in test_schedqueue.py: anything the queue swap perturbed — delivery
+order, timer firing, crash retimes, mobility steps — would surface here
+as a report diff.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.explore.scenarios import scenario_pool
+from repro.harness.config_io import config_from_dict
+from repro.runtime.simulation import ScenarioConfig, Simulation
+from repro.sim.sharded import ShardedEngine
+
+
+def _pool_entry(algorithm, family):
+    for entry in scenario_pool(algorithm, 12, seed=0):
+        if entry["family"] == family:
+            return entry
+    raise AssertionError(f"family {family!r} missing from pool")
+
+
+def _report_json(config, until, scheduler):
+    # sched_ops probe values are discipline-dependent by design, so the
+    # comparison runs with telemetry off (reports already strip the
+    # engine-level scheduler sub-dict).
+    run_config = dataclasses.replace(
+        config, telemetry=False, scheduler=scheduler
+    )
+    return Simulation(run_config).run(until=until).report().to_json()
+
+
+@pytest.mark.parametrize(
+    "algorithm,family",
+    [
+        ("alg1-linial", "fig6"),
+        ("alg2", "crash-line"),
+        ("alg2", "mobility-waypoint"),
+        ("alg2", "static-ring"),
+    ],
+)
+def test_scenario_families_are_bit_identical(algorithm, family):
+    entry = _pool_entry(algorithm, family)
+    config = config_from_dict(entry["scenario"])
+    until = entry["until"]
+    ladder = _report_json(config, until, "ladder")
+    heap = _report_json(config, until, "heap")
+    assert ladder == heap
+
+
+def test_single_shard_delegation_is_bit_identical():
+    entry = _pool_entry("alg2", "static-line")
+    base = config_from_dict(entry["scenario"])
+    reports = []
+    for scheduler in ("ladder", "heap"):
+        config = dataclasses.replace(
+            base, telemetry=False, scheduler=scheduler
+        )
+        engine = ShardedEngine(config, num_shards=1)
+        reports.append(engine.run(until=entry["until"]).report().to_json())
+    assert reports[0] == reports[1]
+
+
+def test_scheduler_field_is_validated():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(positions=[], scheduler="fibonacci")

@@ -1,0 +1,329 @@
+"""Scheduler-discipline equivalence: ladder queue + wheel vs heap.
+
+The ladder/wheel scheduler is only allowed to exist because it is
+bit-identical to the binary heap.  These tests drive both disciplines
+through randomized schedules (cancellations, retimes, timer churn,
+same-instant tie groups under a ControlledScheduler, safe-horizon
+truncation) and require the *exact* execution sequence to match, then
+poke the structures' own mechanics (rung spills, bottom spill, wheel
+cascades) directly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.explore.schedule import RandomStrategy
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.schedqueue import LadderQueue, TimerWheel
+
+
+# ----------------------------------------------------------------------
+# Randomized equivalence property
+# ----------------------------------------------------------------------
+
+
+def _drive(sim: Simulator, seed: int):
+    """One deterministic pseudo-random workload against ``sim``.
+
+    Mixes plain schedules, timer schedules (wheel-eligible), clustered
+    timestamps (tie groups), cancellations, retimes, in-callback
+    scheduling, and chunked run() calls.  Returns the execution log.
+    """
+    rng = random.Random(seed)
+    log = []
+    # Handles are kept past their firing, so revalidate with the
+    # generation stamp (the documented pattern for long-lived holders):
+    # a fired shell may be recycled for an unrelated event, and pool
+    # reuse order is discipline-dependent.
+    live = []
+
+    def grab(handle):
+        live.append((handle, handle.generation))
+
+    def still_ours(handle, generation):
+        return handle.generation == generation and not handle.cancelled
+
+    def fire(label):
+        log.append((sim.now, label))
+        # Reentrant scheduling from inside a callback, sometimes.
+        if rng.random() < 0.15:
+            sim.schedule(rng.choice((0.0, 0.5, 3.0)), fire, ("child", label))
+
+    horizon = 0.0
+    for chunk in range(6):
+        for i in range(120):
+            roll = rng.random()
+            # Cluster times so tie groups and shared buckets happen.
+            t = sim.now + rng.choice((0.0, 0.25, 1.0, 1.0, 2.5, 7.0, 40.0))
+            label = (chunk, i)
+            if roll < 0.45:
+                grab(sim.schedule_at(t, fire, label))
+            elif roll < 0.75:
+                grab(sim.schedule_timer_at(t, fire, label))
+            elif roll < 0.85 and live:
+                handle, generation = live.pop(rng.randrange(len(live)))
+                if still_ours(handle, generation):
+                    handle.cancel()
+            elif live:
+                # Retime: the crash-injector pattern (cancel + reissue).
+                handle, generation = live.pop(rng.randrange(len(live)))
+                if still_ours(handle, generation):
+                    handle.cancel()
+                grab(sim.schedule_timer_at(t + 1.0, fire, ("retimed", label)))
+        horizon += rng.choice((1.5, 4.0, 9.0))
+        sim.run(until=horizon)
+        live = [(h, g) for h, g in live if still_ours(h, g)]
+    sim.run(until=horizon + 200.0)
+    return log
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 11])
+def test_randomized_schedules_are_bit_identical(seed):
+    ladder = Simulator(scheduler="ladder")
+    heap = Simulator(scheduler="heap")
+    ladder_log = _drive(ladder, seed)
+    heap_log = _drive(heap, seed)
+    assert ladder_log == heap_log
+    assert ladder.now == heap.now
+    assert ladder.executed_events == heap.executed_events
+    assert ladder.pending_events == heap.pending_events
+
+
+@pytest.mark.parametrize("pooling", [True, False])
+def test_equivalence_holds_without_pooling(pooling):
+    ladder = Simulator(pooling=pooling, scheduler="ladder")
+    heap = Simulator(pooling=pooling, scheduler="heap")
+    assert _drive(ladder, 5) == _drive(heap, 5)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_tie_groups_match_under_a_controller(seed):
+    """Same-key tie groups resolve identically in both disciplines.
+
+    Includes wheel-parked timers due exactly at the tie instant: the
+    engine must release them into the queue before the controller sees
+    the group, or the controller's permutation authority would differ
+    between disciplines.
+    """
+    logs = []
+    for discipline in ("ladder", "heap"):
+        sim = Simulator(scheduler=discipline)
+        sim.set_choice_controller(RandomStrategy(seed))
+        log = []
+        for i in range(40):
+            sim.schedule_at(5.0, log.append, ("event", i))
+        # Timers landing on the same instant (wheel-eligible: positive
+        # delay fixes granularity g=5.0, tick boundary at 5.0).
+        for i in range(10):
+            sim.schedule_timer(5.0, log.append, ("timer", i))
+        # And a few at a different priority — never in the same group.
+        for i in range(5):
+            sim.schedule_at(
+                5.0, log.append, ("monitor", i),
+                priority=EventPriority.MONITOR,
+            )
+        sim.run(until=10.0)
+        assert len(log) == 55
+        # Priority classes stay ordered regardless of controller.
+        assert all(entry[0] != "monitor" for entry in log[:50])
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+def test_safe_horizon_and_ingest_match():
+    logs = []
+    for discipline in ("ladder", "heap"):
+        sim = Simulator(scheduler=discipline)
+        log = []
+        for i in range(50):
+            sim.schedule_at(float(i), log.append, i)
+        for i in range(20):
+            sim.schedule_timer(10.0 + i, log.append, ("t", i))
+        sim.set_safe_horizon(12.0)
+        sim.run(until=100.0)
+        assert sim.now == 12.0
+        # Barrier window advances: ingest external events, move horizon.
+        sim.ingest([(11.0, log.append, (("ingested", i),)) for i in range(3)])
+        sim.set_safe_horizon(40.0)
+        sim.run(until=100.0)
+        assert sim.now == 40.0
+        sim.set_safe_horizon(None)
+        sim.run(until=100.0)
+        logs.append(log)
+    assert logs[0] == logs[1]
+    assert logs[0][-1] == 49  # plain event at t=49.0 outlives the timers
+    assert len(logs[0]) == 73
+
+
+# ----------------------------------------------------------------------
+# Ladder mechanics
+# ----------------------------------------------------------------------
+
+
+def _shells(times):
+    """Bare event shells (engine=None keeps cancel() self-contained)."""
+    from repro.sim.events import ScheduledEvent
+
+    return [
+        ScheduledEvent(t, EventPriority.NORMAL, seq, lambda: None, ())
+        for seq, t in enumerate(times)
+    ]
+
+
+def test_ladder_pops_random_times_in_sorted_order():
+    q = LadderQueue(lambda e: None)
+    rng = random.Random(42)
+    times = [rng.uniform(0.0, 1000.0) for _ in range(3000)]
+    shells = _shells(times)
+    for shell in shells:
+        q.push(shell)
+    popped = []
+    while q.peek() is not None:
+        popped.append(q.take())
+    assert popped == sorted(shells, key=lambda e: e._key)
+    assert q.dequeues == 3000 and q.live == 0
+
+
+def test_ladder_spills_an_overloaded_bucket_into_a_deeper_rung():
+    # Spread pushes spawn a coarse rung; a later burst lands >64 events
+    # with distinct times in one coarse bucket, which must re-bucket
+    # into a deeper rung instead of insertion-sorting the whole batch.
+    q = LadderQueue(lambda e: None)
+    anchors = _shells([0.0, 1000.0])
+    for shell in anchors:
+        q.push(shell)
+    assert q.peek() is anchors[0]  # top transfer spawns the rung
+    burst = _shells([600.0 + 0.1 * i for i in range(200)])
+    for seq, shell in enumerate(burst, start=10):
+        shell.seq = seq
+        shell._key = (shell.time, int(shell.priority), seq)
+        q.push(shell)
+    popped = []
+    while q.peek() is not None:
+        popped.append(q.take())
+    assert popped == sorted(anchors + burst, key=lambda e: e._key)
+    assert q.rung_spills >= 1
+
+
+def test_ladder_single_timestamp_bucket_goes_straight_to_bottom():
+    # >64 events at one timestamp cannot be re-bucketed; they must sort
+    # directly to the bottom rather than recursing forever.
+    q = LadderQueue(lambda e: None)
+    shells = _shells([5.0] * 300 + [1.0])
+    for shell in shells:
+        q.push(shell)
+    order = []
+    while q.peek() is not None:
+        order.append(q.take().seq)
+    assert order == [300] + list(range(300))
+
+
+def test_ladder_sweep_recycles_cancelled_shells():
+    freed = []
+    q = LadderQueue(freed.append)
+    shells = _shells([float(i % 37) for i in range(200)])
+    for shell in shells:
+        q.push(shell)
+    for shell in shells[:150]:
+        shell.cancelled = True  # engine=None: flip directly
+        q.note_cancelled()
+    assert q.compactions >= 1
+    assert q.live == 50
+    # Draining recycles whatever cancelled shells the sweep left behind.
+    drained = 0
+    while q.peek() is not None:
+        q.take()
+        drained += 1
+    assert drained == 50
+    assert len(freed) == 150
+
+
+def test_ladder_equal_time_push_after_top_transfer():
+    # After a top transfer, a new push at exactly the transferred max
+    # time must land below the fresh top epoch and sort by seq.
+    q = LadderQueue(lambda e: None)
+    shells = _shells([10.0, 20.0, 30.0])
+    for shell in shells:
+        q.push(shell)
+    assert q.peek() is shells[0]  # forces the top transfer
+    late = _shells([30.0])[0]
+    late.seq = 99
+    late._key = (30.0, int(late.priority), 99)
+    q.push(late)
+    order = [q.take().seq for _ in range(4) if q.peek() is not None]
+    assert order == [0, 1, 2, 99]
+
+
+# ----------------------------------------------------------------------
+# Wheel mechanics
+# ----------------------------------------------------------------------
+
+
+def test_wheel_spans_levels_and_cascades():
+    sim = Simulator()
+    fired = []
+    # First delay fixes g=1.0; later arms span wheel levels 0..2.
+    delays = [1.0, 3.0, 70.0, 700.0, 5000.0]
+    for d in delays:
+        sim.schedule_timer(d, fired.append, d)
+    sched = sim.stats()["scheduler"]
+    assert sched["wheel_arms"] == len(delays)
+    sim.run(until=6000.0)
+    assert fired == sorted(delays)
+    assert sim.stats()["scheduler"]["wheel_cascades"] > 0
+
+
+def test_wheel_cancelled_shells_recycle_without_queue_traffic():
+    sim = Simulator()
+    enqueues_before = sim.stats()["scheduler"]["enqueues"]
+    handles = [sim.schedule_timer(2.0 + i % 5, lambda: None) for i in range(50)]
+    for handle in handles:
+        handle.cancel()
+    sched = sim.stats()["scheduler"]
+    assert sched["cancelled_in_place"] == 50
+    assert sched["enqueues"] == enqueues_before  # ladder untouched
+    assert sim.pending_events == 0
+    # Draining past the slots recycles the shells; time still advances.
+    assert sim.run(until=50.0) == 50.0
+
+
+def test_wheel_out_of_range_falls_back_to_queue():
+    sim = Simulator()
+    fired = []
+    sim.schedule_timer(1.0, fired.append, "sets-g")
+    # 64**4 ticks of g=1.0 is out of wheel range -> plain queue push.
+    far = sim.schedule_timer(float(64**4 + 10), fired.append, "far")
+    assert far.engine is sim
+    # Zero delay is not wheel-eligible either.
+    sim.schedule_timer(0.0, fired.append, "now")
+    sim.run(until=float(64**4 + 20))
+    assert fired == ["now", "sets-g", "far"]
+
+
+def test_wheel_empty_queue_idle_advance():
+    # With nothing in the queue and only far-future live timers, run()
+    # must advance to `until` without spinning or firing early.
+    sim = Simulator()
+    fired = []
+    sim.schedule_timer(100.0, fired.append, "late")
+    assert sim.run(until=30.0) == 30.0
+    assert fired == []
+    assert sim.run(until=150.0) == 150.0
+    assert fired == ["late"]
+
+
+def test_scheduler_argument_is_validated():
+    with pytest.raises(SimulationError):
+        Simulator(scheduler="splay")
+
+
+def test_wheel_granularity_is_lazy():
+    wheel = TimerWheel(lambda e: None)
+    assert wheel.next_time == math.inf
+    assert not wheel.accepts(5.0, 5.0)  # zero delay never parks
+    assert wheel.accepts(7.0, 5.0)      # fixes g = 2.0
+    assert not wheel.accepts(4.0, 5.0)  # behind now

@@ -208,27 +208,54 @@ def test_random_source_fork_derives_new_seed():
 
 
 def test_stats_snapshot_tracks_counters():
-    sim = Simulator()
-    for i in range(5):
-        sim.schedule_at(float(i), lambda: None)
-    sim.run()
-    stats = sim.stats()
-    assert stats["executed_events"] == 5
-    assert stats["pending_events"] == 0
-    assert stats["heap_high_water"] >= 1
-    assert stats["now"] == 4.0
-    assert "compactions" in stats
+    for discipline in ("ladder", "heap"):
+        sim = Simulator(scheduler=discipline)
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        stats = sim.stats()
+        assert stats["executed_events"] == 5
+        assert stats["pending_events"] == 0
+        assert stats["now"] == 4.0
+        sched = stats["scheduler"]
+        assert sched["discipline"] == discipline
+        assert sched["enqueues"] == 5
+        assert sched["dequeues"] == 5
+        assert sched["high_water"] >= 1
+        assert "compactions" in sched
 
 
 def test_mass_cancellation_triggers_compaction():
-    sim = Simulator()
-    handles = [sim.schedule_at(float(i), lambda: None) for i in range(200)]
-    for handle in handles[:150]:
+    # Both disciplines sweep their pending set in place once cancelled
+    # shells outnumber live events.
+    for discipline in ("ladder", "heap"):
+        sim = Simulator(scheduler=discipline)
+        handles = [sim.schedule_at(float(i), lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert sim.compactions >= 1
+        assert sim.stats()["scheduler"]["compactions"] == sim.compactions
+        sim.run()
+        assert sim.executed_events == 50
+
+
+def test_wheel_cancel_is_in_place():
+    # A cancelled wheel-resident timer never enters the main queue: the
+    # cancellation is a flag flip accounted on the wheel.
+    sim = Simulator()  # ladder + wheel
+    fired = []
+    keep = sim.schedule_timer(5.0, fired.append, "keep")
+    drop = [sim.schedule_timer(5.0 + i % 3, fired.append, i) for i in range(30)]
+    for handle in drop:
         handle.cancel()
-    assert sim.compactions >= 1
-    assert sim.stats()["compactions"] == sim.compactions
-    sim.run()
-    assert sim.executed_events == 50
+    assert keep.pending and not drop[0].pending
+    before = sim.stats()["scheduler"]
+    assert before["wheel_arms"] == 31
+    assert before["cancelled_in_place"] == 30
+    assert before["cancelled"] == 0  # the ladder never saw them
+    assert sim.pending_events == 1
+    sim.run(until=10.0)
+    assert fired == ["keep"]
 
 
 def test_profiler_attach_detach_and_categories():
