@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     python -m repro algorithms            # list registered protocols
     python -m repro run ...               # one simulation, summarized
@@ -13,6 +13,15 @@ Eight subcommands::
                                           #   endpoint (export | serve)
     python -m repro bench ...             # append-only bench history
                                           #   (append | history | check)
+    python -m repro live ...              # real-transport runtimes
+                                          #   (run | serve | verify)
+
+``live run`` executes a scenario over a real transport — the in-process
+asyncio bus or one-process-per-node localhost TCP sockets — recording a
+schema-versioned event log; ``live verify`` replays such a log in the
+simulator under the invariant monitors and checks effect-stream
+fidelity (exit 1 when not clean); ``live serve`` runs a bus scenario
+with a live OpenMetrics scrape endpoint.  See docs/live.md.
 
 ``explore fuzz`` runs a seeded campaign of controlled schedules with
 invariant monitors attached and exits 1 when any monitor fires, saving
@@ -503,16 +512,121 @@ def cmd_locality(args, out) -> int:
     return 0
 
 
+def cmd_live(args, out) -> int:
+    handlers = {
+        "run": cmd_live_run,
+        "verify": cmd_live_verify,
+        "serve": cmd_live_serve,
+    }
+    return handlers[args.live_command](args, out)
+
+
+def _write_recording(recording, destination, out) -> None:
+    from repro.live import save_recording
+
+    with open(destination, "w") as stream:
+        save_recording(recording, stream)
+    out.write(f"recording written to {destination}\n")
+
+
+def _verify_one(recording, label, out) -> bool:
+    from repro.live import verify_recording
+
+    report = verify_recording(recording)
+    if report["clean"]:
+        out.write(
+            f"{label}: clean — {report['rows']} rows replayed, "
+            f"{report['fidelity']['expected']} effects matched, "
+            f"monitors {', '.join(report['monitors'])}\n"
+        )
+    elif report["violation"] is not None:
+        violation = report["violation"]
+        out.write(
+            f"{label}: VIOLATION — monitor {violation.get('monitor')!r} "
+            f"fired at t={violation.get('time')}\n"
+        )
+    else:
+        divergence = report["fidelity"]["divergence"]
+        out.write(
+            f"{label}: DIVERGED — replay left the recording at effect "
+            f"{divergence['index']} (expected {divergence['expected']}, "
+            f"got {divergence['actual']})\n"
+        )
+    return bool(report["clean"])
+
+
+def cmd_live_run(args, out) -> int:
+    from repro.live import run_bus_family, run_socket_family
+
+    if args.runtime == "socket":
+        recording = run_socket_family(
+            args.family, args.algorithm, seed=args.seed,
+            time_scale=args.time_scale or 0.02,
+        )
+    else:
+        recording = run_bus_family(
+            args.family, args.algorithm, seed=args.seed,
+            time_scale=args.time_scale or 0.005,
+        )
+    out.write(
+        f"live {args.runtime} run {args.family}/{args.algorithm} "
+        f"seed {args.seed}: {len(recording['rows'])} rows, "
+        f"t_end {recording['t_end']:.3f}\n"
+    )
+    if args.out:
+        _write_recording(recording, args.out, out)
+    if args.verify:
+        return 0 if _verify_one(recording, args.out or "recording", out) else 1
+    return 0
+
+
+def cmd_live_verify(args, out) -> int:
+    from repro.live import load_recording
+
+    status = 0
+    for path in args.files:
+        with open(path) as stream:
+            recording = load_recording(stream)
+        if not _verify_one(recording, str(path), out):
+            status = 1
+    return status
+
+
+def cmd_live_serve(args, out) -> int:
+    from repro.live import serve
+
+    out.write(
+        f"serving live metrics on http://{args.host}:{args.port}/metrics\n"
+    )
+    recording = serve(
+        args.family, args.algorithm, seed=args.seed,
+        time_scale=args.time_scale or 0.05,
+        host=args.host, port=args.port, duration=args.duration,
+    )
+    out.write(
+        f"run finished: {len(recording['rows'])} rows, "
+        f"t_end {recording['t_end']:.3f}\n"
+    )
+    if args.out:
+        _write_recording(recording, args.out, out)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Local mutual exclusion in MANETs (Kogan, ICDCS 2008) — "
                     "simulation CLI",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -689,6 +803,53 @@ def build_parser() -> argparse.ArgumentParser:
                               help="trailing records forming the baseline")
     check_parser.add_argument("--report-only", action="store_true",
                               help="report regressions but exit 0")
+
+    live_parser = sub.add_parser(
+        "live", help="run the protocols over a real transport; "
+                     "verify recordings through the sim oracle"
+    )
+    live_sub = live_parser.add_subparsers(dest="live_command", required=True)
+
+    def add_live_scenario(p):
+        p.add_argument("--family", default="static-line",
+                       help="scenario family (see explore's generator pool)")
+        p.add_argument("--algorithm", default="alg2",
+                       choices=sorted(ALGORITHMS))
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--time-scale", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall seconds per virtual time unit")
+
+    live_run = live_sub.add_parser(
+        "run", help="record one live scenario run"
+    )
+    add_live_scenario(live_run)
+    live_run.add_argument("--runtime", choices=("bus", "socket"),
+                          default="bus",
+                          help="in-process asyncio bus, or one OS process "
+                               "per node over localhost TCP")
+    live_run.add_argument("--out", default=None, metavar="RECORDING.json",
+                          help="write the recorded event log")
+    live_run.add_argument("--verify", action="store_true",
+                          help="replay the recording in-sim immediately "
+                               "(exit 1 when not clean)")
+
+    live_verify = live_sub.add_parser(
+        "verify", help="replay recordings in-sim under invariant monitors "
+                       "(exit 1 when any is not clean)"
+    )
+    live_verify.add_argument("files", nargs="+", metavar="RECORDING.json")
+
+    live_serve = live_sub.add_parser(
+        "serve", help="run a bus scenario with a live /metrics endpoint"
+    )
+    add_live_scenario(live_serve)
+    live_serve.add_argument("--host", default="127.0.0.1")
+    live_serve.add_argument("--port", type=int, default=9464)
+    live_serve.add_argument("--duration", type=float, default=None,
+                            help="virtual-time horizon override")
+    live_serve.add_argument("--out", default=None, metavar="RECORDING.json",
+                            help="write the recorded event log")
     return parser
 
 
@@ -713,6 +874,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "explore": cmd_explore,
         "metrics": cmd_metrics,
         "bench": cmd_bench,
+        "live": cmd_live,
     }
     try:
         return handlers[args.command](args, out)

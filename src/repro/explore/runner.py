@@ -82,13 +82,17 @@ def run_controlled(
     until: float,
     strategy: ControlledScheduler,
     monitor_specs: Optional[List[Dict[str, Any]]] = None,
+    on_simulation=None,
 ) -> ExplorationResult:
     """Run one scenario dict under a controlled scheduler and monitors.
 
     ``monitor_specs`` defaults to
     :func:`~repro.explore.monitors.default_monitor_specs` for the
     scenario.  The strategy must be fresh (strategies are stateful
-    one-run objects).
+    one-run objects).  ``on_simulation``, when given, is called with the
+    fully wired :class:`~repro.runtime.simulation.Simulation` before the
+    run starts — the hook live-run verification uses to read the trace
+    log afterwards.
     """
     # Local import: config_io imports runtime.simulation, which several
     # explore modules sit below in test fakes.
@@ -121,6 +125,9 @@ def run_controlled(
 
     suite = MonitorSuite(build_monitors(monitor_specs))
     suite.attach(simulation)
+
+    if on_simulation is not None:
+        on_simulation(simulation)
 
     result = simulation.run(until=until)
     suite.finalize()

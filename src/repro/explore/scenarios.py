@@ -216,6 +216,25 @@ _FAMILIES = {
 }
 
 
+def build_scenario(family: str, algorithm: str,
+                   seed: int = 0) -> Dict[str, Any]:
+    """Generate one named-family scenario deterministically.
+
+    The entry point the live runtime uses to pick up the exact same
+    scenario shapes the fuzz campaigns run, so a live execution and its
+    in-sim replay start from one JSON description.  Returns the same
+    ``{"family", "until", "scenario"}`` rows as :func:`scenario_pool`.
+    """
+    try:
+        generator = _FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario family {family!r}; "
+            f"available: {sorted(_FAMILIES)}"
+        ) from None
+    return generator(algorithm, random.Random(seed))
+
+
 def scenario_pool(algorithm: str, count: int,
                   seed: int = 0) -> List[Dict[str, Any]]:
     """Generate ``count`` scenarios for one algorithm, round-robin over

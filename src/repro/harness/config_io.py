@@ -87,6 +87,16 @@ def config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
             str(node): list(times)
             for node, times in config.scripted_hunger.items()
         }
+    if config.scripted_eating is not None:
+        data["scripted_eating"] = {
+            str(node): list(durations)
+            for node, durations in config.scripted_eating.items()
+        }
+    if config.link_script is not None:
+        data["link_script"] = [
+            [float(t), str(op), int(a), int(b), int(mover)]
+            for t, op, a, b, mover in config.link_script
+        ]
     if config.initial_colors is not None:
         data["initial_colors"] = {
             str(node): color for node, color in config.initial_colors.items()
@@ -124,6 +134,8 @@ def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
             return _builder(_params) if node_id in _nodes else None
 
     scripted = data.get("scripted_hunger")
+    scripted_eating = data.get("scripted_eating")
+    link_script = data.get("link_script")
     initial_colors = data.get("initial_colors")
     return ScenarioConfig(
         positions=positions,
@@ -141,6 +153,20 @@ def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
         scripted_hunger=(
             {int(node): list(times) for node, times in scripted.items()}
             if scripted is not None
+            else None
+        ),
+        scripted_eating=(
+            {
+                int(node): [float(d) for d in durations]
+                for node, durations in scripted_eating.items()
+            }
+            if scripted_eating is not None
+            else None
+        ),
+        link_script=(
+            [[float(t), str(op), int(a), int(b), int(mover)]
+             for t, op, a, b, mover in link_script]
+            if link_script is not None
             else None
         ),
         mobility_factory=mobility_factory,

@@ -403,6 +403,27 @@ class DynamicTopology:
                     diff.removed.append(link_key(node_id, other))
         return diff
 
+    def force_link(self, a: int, b: int, up: bool) -> LinkDiff:
+        """Set one link's state directly, ignoring node positions.
+
+        Used by scripted link schedules (live-run replay): the recorded
+        churn is the ground truth, not the unit-disk geometry.  Returns
+        the resulting :class:`LinkDiff` — empty when the link is already
+        in the requested state.
+        """
+        self._require(a)
+        self._require(b)
+        if a == b:
+            raise TopologyError(f"cannot link node {a} to itself")
+        diff = LinkDiff()
+        if up and not self.has_link(a, b):
+            self._link(a, b)
+            diff.added.append(link_key(a, b))
+        elif not up and self.has_link(a, b):
+            self._unlink(a, b)
+            diff.removed.append(link_key(a, b))
+        return diff
+
     # ------------------------------------------------------------------
     # Graph queries
     # ------------------------------------------------------------------

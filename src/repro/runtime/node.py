@@ -9,16 +9,18 @@ and safety monitor see every change.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.base import LocalMutexAlgorithm
 from repro.core.states import NodeState, check_transition
-from repro.net.linklayer import LinkLayer
 from repro.net.messages import Message
 from repro.sim.clock import TimeBounds
-from repro.sim.engine import Simulator
 from repro.sim.timers import Timer
 from repro.sim.trace import NULL_TRACE, TraceLog, live_trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.linklayer import LinkLayer
+    from repro.runtime.interface import Runtime
 
 
 class NodeHarness:
@@ -31,6 +33,12 @@ class NodeHarness:
     ``Timer`` and the ~2.5 KB ``random.Random`` to first use keeps
     construction O(cheap) per node without changing any draw sequence
     (substream seeds derive from the stream name alone).
+
+    The harness is runtime-agnostic: ``sim`` is anything satisfying the
+    :class:`~repro.runtime.interface.Runtime` protocol and
+    ``linklayer`` anything with the :class:`~repro.net.linklayer.LinkLayer`
+    query/send surface, so the same harness (and the algorithm inside
+    it) runs under the discrete-event simulator or a live transport.
     """
 
     __slots__ = (
@@ -47,6 +55,7 @@ class NodeHarness:
         "probes",
         "_state",
         "_eat_timer",
+        "_eat_script",
         "crashed",
         "algorithm",
         "on_done_eating",
@@ -55,8 +64,8 @@ class NodeHarness:
     def __init__(
         self,
         node_id: int,
-        sim: Simulator,
-        linklayer: LinkLayer,
+        sim: "Runtime",
+        linklayer: "LinkLayer",
         bounds: TimeBounds,
         trace: TraceLog,
         eat_rng,
@@ -89,6 +98,7 @@ class NodeHarness:
         self.probes = probes
         self._state = NodeState.THINKING
         self._eat_timer: Optional[Timer] = None
+        self._eat_script: Optional[List[float]] = None
         self.crashed = False
         self.algorithm: Optional[LocalMutexAlgorithm] = None
         #: Workload hook: called when the node finishes eating.
@@ -110,7 +120,7 @@ class NodeHarness:
         return self._sim.now
 
     @property
-    def sim(self) -> Simulator:
+    def sim(self) -> "Runtime":
         return self._sim
 
     @property
@@ -142,12 +152,26 @@ class NodeHarness:
         timer = self._eat_timer
         if timer is None:
             timer = self._eat_timer = Timer(self._sim, self._finish_eating)
+        script = self._eat_script
+        if script:
+            timer.start(script.pop(0))
+            return
         rng = self._eat_rng
         if rng is None:
             rng = self._eat_rng = self._rng_source.stream(
                 "eating", self.node_id
             )
         timer.start(self._bounds.draw_eating_time(rng))
+
+    def script_eating(self, durations) -> None:
+        """Replace random eating times with a fixed per-entry schedule.
+
+        Used by replay: the i-th critical-section entry eats for
+        ``durations[i]`` exactly; once the script is exhausted the
+        harness falls back to the usual RNG draw.  Must be installed
+        before the first entry to keep draw sequences aligned.
+        """
+        self._eat_script = [float(d) for d in durations]
 
     def demote_to_hungry(self) -> None:
         """Mobility preemption: eating -> hungry (Algorithm 3 Line 50)."""

@@ -75,6 +75,16 @@ class ScenarioConfig:
     initial_delay_range: Tuple[float, float] = (0.0, 1.0)
     max_entries: Optional[int] = None
     scripted_hunger: Optional[Dict[int, List[float]]] = None
+    #: Per-node eating durations, consumed in CS-entry order (replay of
+    #: recorded live runs).  Nodes not listed — and entries past the end
+    #: of a node's list — fall back to the usual RNG draw.
+    scripted_eating: Optional[Dict[int, List[float]]] = None
+    #: Scripted link churn: ``[time, op, a, b, mover]`` rows with op in
+    #: ("up", "down") and ``mover`` the moving endpoint id (or -1 when
+    #: neither endpoint moves).  Applied verbatim at the given times,
+    #: independent of node positions — the replay path for live-run
+    #: recordings, where the recorded churn is the ground truth.
+    link_script: Optional[List[Sequence[Any]]] = None
     #: Per-node mobility model factory (node_id -> model or None).
     mobility_factory: Optional[Callable[[int], Optional[MobilityModel]]] = None
     mobility_step: float = 0.25
@@ -132,6 +142,12 @@ class ScenarioConfig:
                 f"unknown scheduler discipline: {self.scheduler!r} "
                 "(expected 'ladder' or 'heap')"
             )
+        for row in self.link_script or ():
+            if len(row) != 5 or row[1] not in ("up", "down"):
+                raise ConfigurationError(
+                    f"link script rows are [time, 'up'|'down', a, b, mover]:"
+                    f" {row!r}"
+                )
 
 
 @dataclass
@@ -430,6 +446,10 @@ class Simulation:
                 rng_source=self.rng,
             )
             harness.bind(factory(harness))
+            if config.scripted_eating is not None:
+                durations = config.scripted_eating.get(node_id)
+                if durations:
+                    harness.script_eating(durations)
             self.harnesses[node_id] = harness
             self.linklayer.register(node_id, harness)
         # Initial per-link protocol state (forks, priorities, colors).
@@ -465,6 +485,21 @@ class Simulation:
             # Bulk attach defers the per-node RNG seeding to the first
             # engine run; the draws themselves are bit-identical.
             self.workload.attach_all(self.harnesses.values())
+
+        # --- scripted link churn ------------------------------------
+        # Recorded (live-run) churn replays verbatim: each row becomes
+        # one engine event that forces the link state and emits the
+        # same up/down indications the recording's nodes saw.
+        for row in config.link_script or ():
+            time, op, a, b, mover = row
+            self.sim.schedule_at(
+                float(time),
+                self._apply_scripted_link,
+                str(op),
+                int(a),
+                int(b),
+                int(mover),
+            )
 
         # --- mobility --------------------------------------------------
         self.mobility = MobilityController(
@@ -509,6 +544,26 @@ class Simulation:
     def algorithm_of(self, node_id: int):
         """The algorithm instance running on one node."""
         return self.harnesses[node_id].algorithm
+
+    def _apply_scripted_link(
+        self, op: str, a: int, b: int, mover: int
+    ) -> None:
+        """Force one scripted link change and deliver its indications.
+
+        ``mover`` (when >= 0) is marked moving for the duration of the
+        event so the link layer assigns the same static/moving roles the
+        recorded execution saw; role state is restored afterwards.
+        """
+        restore = mover >= 0 and not self.linklayer.is_moving(mover)
+        if restore:
+            self.linklayer.set_moving(mover, True)
+        try:
+            diff = self.topology.force_link(a, b, op == "up")
+            if not diff.empty:
+                self.linklayer.apply_diff(diff)
+        finally:
+            if restore:
+                self.linklayer.set_moving(mover, False)
 
     def run(
         self,

@@ -1,11 +1,13 @@
-"""Restartable one-shot timers on top of the event engine."""
+"""Restartable one-shot timers on top of any runtime."""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.sim.engine import Simulator
-from repro.sim.events import EventPriority, ScheduledEvent
+from repro.sim.events import EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.interface import Runtime, TimerHandle
 
 
 class Timer:
@@ -14,11 +16,16 @@ class Timer:
     Protocol code frequently needs "fire X after d unless something else
     happens first"; wrapping the schedule/cancel pair avoids dangling
     event handles scattered through algorithm state.
+
+    ``sim`` is anything satisfying the
+    :class:`~repro.runtime.interface.Runtime` protocol — the
+    discrete-event simulator in tests and experiments, a wall-clock
+    runtime in :mod:`repro.live` deployments.
     """
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "Runtime",
         callback: Callable[..., None],
         *args: Any,
         priority: EventPriority = EventPriority.NORMAL,
@@ -27,7 +34,7 @@ class Timer:
         self._callback = callback
         self._args = args
         self._priority = priority
-        self._event: Optional[ScheduledEvent] = None
+        self._event: Optional["TimerHandle"] = None
 
     @property
     def pending(self) -> bool:

@@ -1,0 +1,363 @@
+"""Live-runtime tests: real transports with the simulator as oracle.
+
+The load-bearing assertions are the record→replay round trips: a run
+on the in-process bus (and on the per-process socket transport) must
+replay deterministically in-sim with every invariant monitor clean and
+the effect stream reproduced stamp for stamp.  Around those sit unit
+tests for the pieces: bus FIFO under concurrent senders, the framing
+codec (interned messages, restricted unpickling), reconnect backoff,
+the recording schema, the scenario-config round trip of the new replay
+ingestion fields, and the ``repro live`` / ``repro --version`` CLI.
+"""
+
+import asyncio
+import io
+import json
+import pickle
+import random
+
+import pytest
+
+from repro import __version__
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError, ProtocolError, TopologyError
+from repro.harness.config_io import config_from_dict, config_to_dict
+from repro.live import (
+    SCHEMA,
+    load_recording,
+    merge_rows,
+    run_bus_family,
+    run_socket,
+    save_recording,
+    scripted_link_feed,
+    verify_recording,
+)
+from repro.live.bus import InProcessBus
+from repro.live.codec import FrameDecoder, decode_body, encode_frame
+from repro.live.socket_transport import backoff_delays
+from repro.net.geometry import Point
+from repro.core.messages import ForkRequest
+from repro.net.topology import DynamicTopology
+from repro.runtime.simulation import ScenarioConfig
+from repro.explore.scenarios import build_scenario
+
+
+# ----------------------------------------------------------------------
+# Record -> replay round trips (the acceptance criterion)
+# ----------------------------------------------------------------------
+def assert_clean(report):
+    assert report["violation"] is None, report["violation"]
+    assert report["fidelity"]["divergence"] is None, report["fidelity"]
+    assert report["clean"]
+    assert report["fidelity"]["expected"] == report["fidelity"]["actual"] > 0
+
+
+def test_bus_static_line_replays_clean():
+    recording = run_bus_family("static-line", "alg2", seed=0,
+                               time_scale=0.003)
+    assert recording["schema"] == SCHEMA
+    assert recording["runtime"] == "bus"
+    assert recording["metrics"]["cs_entries"] > 0
+    assert_clean(verify_recording(recording))
+
+
+def test_bus_fig6_churn_and_crash_replays_clean():
+    # fig6: scripted link churn plus a crash, Algorithm 1.
+    recording = run_bus_family("fig6", "alg1-greedy", seed=0,
+                               time_scale=0.003)
+    kinds = {row["k"] for row in recording["rows"]}
+    assert "crash" in kinds
+    assert {"up", "down"} & kinds
+    assert_clean(verify_recording(recording))
+
+
+def test_bus_recording_round_trips_through_json():
+    recording = run_bus_family("fig6", "alg1-greedy", seed=1,
+                               time_scale=0.003)
+    stream = io.StringIO()
+    save_recording(recording, stream)
+    reloaded = load_recording(io.StringIO(stream.getvalue()))
+    assert_clean(verify_recording(reloaded))
+
+
+def _three_node_line_scenario():
+    return {
+        "positions": [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]],
+        "radio_range": 1.2,
+        "algorithm": "alg2",
+        "seed": 3,
+        "bounds": {"nu": 1.0, "tau": 1.0, "min_delay_fraction": 0.5},
+        "scripted_hunger": {
+            "0": [1.0, 8.0, 16.0],
+            "1": [1.5, 9.0, 17.0],
+            "2": [2.0, 10.0, 18.0],
+        },
+    }
+
+
+def test_socket_three_node_line_replays_clean():
+    recording = run_socket(
+        _three_node_line_scenario(), until=30.0, time_scale=0.01,
+        start_grace=0.3,
+    )
+    assert recording["runtime"] == "socket"
+    # One recorder per process: merged rows carry per-origin message ids.
+    origins = {row["m"].split(":")[0]
+               for row in recording["rows"] if row["k"] == "recv"}
+    assert len(origins) > 1
+    assert_clean(verify_recording(recording))
+
+
+def test_load_recording_rejects_unknown_schema():
+    bad = io.StringIO(json.dumps({"schema": "nope/9", "rows": []}))
+    with pytest.raises(ConfigurationError):
+        load_recording(bad)
+
+
+# ----------------------------------------------------------------------
+# Bus FIFO property
+# ----------------------------------------------------------------------
+def test_bus_preserves_per_link_fifo_under_concurrent_senders():
+    rng = random.Random(7)
+    for _ in range(20):
+        loop = asyncio.new_event_loop()
+        try:
+            delivered = []
+            bus = InProcessBus(
+                loop, lambda src, dst, m, mid, inc:
+                delivered.append((src, dst, mid)),
+            )
+            # Concurrent senders: every node streams to every other, the
+            # global interleaving shuffled per round.
+            sends = [
+                (src, dst, f"{src}->{dst}#{seq}")
+                for src in range(4) for dst in range(4) if src != dst
+                for seq in range(10)
+            ]
+            by_link = {}
+            for src, dst, mid in sends:
+                by_link.setdefault((src, dst), []).append(mid)
+            # Shuffle while keeping each directed link's internal order —
+            # that order is exactly what senders submit and FIFO promises.
+            order = sends[:]
+            for _ in range(200):
+                i, j = rng.randrange(len(order)), rng.randrange(len(order))
+                if (order[i][0], order[i][1]) != (order[j][0], order[j][1]):
+                    order[i], order[j] = order[j], order[i]
+            for src, dst, mid in order:
+                loop.call_soon(bus.send, src, dst, mid, mid, 0)
+            loop.call_soon(loop.stop)
+            loop.run_forever()
+            # Drain the deliveries enqueued by the sends.
+            loop.call_soon(loop.stop)
+            loop.run_forever()
+            got = {}
+            for src, dst, mid in delivered:
+                got.setdefault((src, dst), []).append(mid)
+            submitted = {}
+            for src, dst, mid in order:
+                submitted.setdefault((src, dst), []).append(mid)
+            assert got == submitted
+            assert bus.sent == len(sends)
+        finally:
+            loop.close()
+
+
+# ----------------------------------------------------------------------
+# Framing codec
+# ----------------------------------------------------------------------
+def test_codec_round_trips_interned_messages():
+    frame = encode_frame({"y": "msg", "p": ForkRequest(), "s": 1.25})
+    decoder = FrameDecoder()
+    # Feed byte by byte: the decoder must reassemble across chunks.
+    frames = []
+    for offset in range(len(frame)):
+        frames.extend(decoder.feed(frame[offset:offset + 1]))
+    assert len(frames) == 1
+    payload = frames[0]
+    assert payload["s"] == 1.25
+    # Interned messages resolve to the receiver-side canonical instance.
+    assert payload["p"] is ForkRequest()
+
+
+def test_codec_batches_multiple_frames():
+    frames = encode_frame({"n": 1}) + encode_frame({"n": 2})
+    assert [f["n"] for f in FrameDecoder().feed(frames)] == [1, 2]
+
+
+def test_codec_rejects_forbidden_globals():
+    body = pickle.dumps(random.Random)  # not a repro.* class
+    with pytest.raises(pickle.UnpicklingError):
+        decode_body(body)
+
+
+def test_codec_rejects_oversized_length_prefix():
+    with pytest.raises(ProtocolError):
+        FrameDecoder().feed((1 << 30).to_bytes(4, "big") + b"xxxx")
+
+
+# ----------------------------------------------------------------------
+# Reconnect backoff
+# ----------------------------------------------------------------------
+def test_backoff_delays_grow_to_cap_with_jitter():
+    delays = list(backoff_delays(
+        attempts=8, base=0.05, cap=0.4, rng=random.Random(1)
+    ))
+    assert len(delays) == 8
+    for attempt, delay in enumerate(delays):
+        nominal = min(0.4, 0.05 * 2 ** attempt)
+        assert 0.5 * nominal <= delay < 1.5 * nominal
+    # The tail is capped: jitter only, no further exponential growth.
+    assert all(delay < 0.6 for delay in delays[-3:])
+
+
+def test_peer_loss_surfaces_link_down_and_counts():
+    from repro.live.linklayer import LiveLinkLayer
+    from repro.live.node import LiveProbes
+    from repro.live.recorder import LiveRecorder
+    from repro.live.runtime import WallClockRuntime
+    from repro.live.socket_transport import SocketTransport
+    from repro.obs.registry import MetricRegistry
+
+    class StubWriter:
+        def close(self):
+            pass
+
+    class StubHandler:
+        def __init__(self):
+            self.downs = []
+
+        def on_link_down(self, peer):
+            self.downs.append(peer)
+
+    loop = asyncio.new_event_loop()
+    try:
+        recorder = LiveRecorder(origin=1)
+        runtime = WallClockRuntime(loop, 1.0, recorder)
+        registry = MetricRegistry()
+        probes = LiveProbes(registry)
+        transport = SocketTransport(loop, runtime, 1, [0], probes=probes)
+        linklayer = LiveLinkLayer(
+            runtime, recorder, transport.send, {0: {1}, 1: {0}},
+            probes=probes,
+        )
+        transport.linklayer = linklayer
+        transport.remember_ports({})
+        handler = StubHandler()
+        linklayer.register(1, handler)
+        runtime.start()
+
+        transport._writers[0] = StubWriter()
+        transport._peer_lost(0, reason="liveness")
+
+        # The loss is an on_link_down to the algorithm, an
+        # endpoint-scoped down row in the log, and a live.* count.
+        assert handler.downs == [0]
+        assert 0 not in linklayer.neighbors(1)
+        down_rows = [row for row in recorder.rows if row["k"] == "down"]
+        assert down_rows and down_rows[0]["endpoint"] == 1
+        assert probes.link_down.get("liveness") == 1
+        # Losing an already-gone peer is a no-op, not a second event.
+        transport._peer_lost(0, reason="liveness")
+        assert probes.link_down.get("liveness") == 2  # counted...
+        assert len(down_rows) == 1  # ...but no duplicate link event
+        for task in transport._tasks:
+            task.cancel()
+        loop.run_until_complete(
+            asyncio.gather(*transport._tasks, return_exceptions=True)
+        )
+    finally:
+        loop.close()
+
+
+# ----------------------------------------------------------------------
+# Replay-ingestion plumbing in the simulator
+# ----------------------------------------------------------------------
+def test_scenario_config_round_trips_eating_and_link_script():
+    config = ScenarioConfig(
+        positions=[Point(0.0, 0.0), Point(1.0, 0.0), Point(2.0, 0.0)],
+        algorithm="alg2",
+        scripted_hunger={0: [1.0], 1: [2.0]},
+        scripted_eating={0: [0.5, 0.75], 2: [1.5]},
+        link_script=[[3.0, "down", 0, 1, -1], [4.0, "up", 0, 1, 1]],
+    )
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt.scripted_eating == {0: [0.5, 0.75], 2: [1.5]}
+    assert rebuilt.link_script == [
+        [3.0, "down", 0, 1, -1], [4.0, "up", 0, 1, 1]
+    ]
+
+
+def test_force_link_produces_diffs_and_rejects_self_links():
+    topology = DynamicTopology(radio_range=1.0)
+    topology.add_nodes([(0, Point(0.0, 0.0)), (1, Point(5.0, 0.0))])
+    diff = topology.force_link(0, 1, True)
+    assert diff.added == [(0, 1)]
+    assert topology.has_link(0, 1)
+    assert topology.force_link(0, 1, True).empty  # idempotent
+    diff = topology.force_link(1, 0, False)
+    assert diff.removed == [(0, 1)]
+    with pytest.raises(TopologyError):
+        topology.force_link(1, 1, True)
+
+
+def test_scripted_link_feed_rejects_moving_speeds():
+    scenario = build_scenario("fig6", "alg1-greedy", seed=0)["scenario"]
+    feed = scripted_link_feed(scenario)
+    assert feed, "fig6's teleport move must yield link events"
+    assert all(op in ("up", "down") for _, op, _, _, _ in feed)
+    scenario = json.loads(json.dumps(scenario))
+    scenario["mobility"]["params"]["moves"][0][3] = 1.0  # now a real move
+    with pytest.raises(ConfigurationError):
+        scripted_link_feed(scenario)
+
+
+def test_build_scenario_names_unknown_families():
+    row = build_scenario("static-line", "alg2", seed=4)
+    assert row["scenario"]["algorithm"] == "alg2"
+    with pytest.raises(KeyError) as excinfo:
+        build_scenario("no-such-family", "alg2")
+    assert "static-line" in str(excinfo.value)
+
+
+def test_merge_rows_is_stable_and_strictly_increasing():
+    merged = merge_rows({
+        2: [{"t": 1.0, "k": "recv", "m": "2:1"},
+            {"t": 2.0, "k": "recv", "m": "2:2"}],
+        1: [{"t": 1.0, "k": "recv", "m": "1:1"},
+            {"t": 1.0 + 1e-12, "k": "recv", "m": "1:2"}],
+    })
+    stamps = [row["t"] for row in merged]
+    assert stamps == sorted(stamps)
+    assert all(b > a for a, b in zip(stamps, stamps[1:]))
+    # Stamp order first, ties by origin; per-origin order survives.
+    assert [row["m"] for row in merged] == ["1:1", "2:1", "1:2", "2:2"]
+    for origin in ("1", "2"):
+        ours = [row["m"] for row in merged if row["m"].startswith(origin)]
+        assert ours == sorted(ours)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_version_flag():
+    out = io.StringIO()
+    assert cli_main(["--version"], out=out) == 0
+    assert out.getvalue().strip() == f"repro {__version__}"
+
+
+def test_cli_live_run_records_and_verifies(tmp_path):
+    destination = tmp_path / "recording.json"
+    out = io.StringIO()
+    rc = cli_main(
+        ["live", "run", "--family", "static-line", "--algorithm", "alg2",
+         "--seed", "0", "--time-scale", "0.003",
+         "--out", str(destination), "--verify"],
+        out=out,
+    )
+    assert rc == 0, out.getvalue()
+    assert "clean" in out.getvalue()
+
+    out = io.StringIO()
+    assert cli_main(["live", "verify", str(destination)], out=out) == 0
+    assert "clean" in out.getvalue()
